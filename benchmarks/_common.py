@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper: it prints a
+paper-style table (bypassing pytest's output capture so the rows are always
+visible in the terminal) and saves a JSON artifact under
+``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.analysis import ExperimentResult
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def emit(text: str) -> None:
+    """Print benchmark output even while pytest captures stdout."""
+    stream = getattr(sys, "__stdout__", None) or sys.stdout
+    stream.write(text + "\n")
+    stream.flush()
+
+
+def save_experiment(result: ExperimentResult) -> Path:
+    """Persist a benchmark's experiment record under benchmarks/results/."""
+    return result.save(RESULTS_DIR)
+
+
+def run_once(benchmark, func):
+    """Run an expensive benchmark body exactly once under pytest-benchmark."""
+    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)

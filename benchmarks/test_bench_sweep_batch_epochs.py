@@ -1,0 +1,98 @@
+"""Experiment E12 — extension: batch-size and epoch-budget sweeps.
+
+The paper evaluates one operating point (batch 32).  These sweeps show how
+the FF-INT8 advantage moves with the two knobs an edge deployment controls:
+the mini-batch size (memory advantage widens with batch) and the number of
+extra FF epochs that fit inside the BP-GDAI8 time budget (the break-even
+point of the "more but cheaper epochs" trade).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._common import emit, run_once, save_experiment
+from repro.analysis import ExperimentResult, format_table
+from repro.hardware import (
+    breakeven_ff_epochs,
+    profile_bundle,
+    sweep_batch_size,
+    sweep_epochs,
+)
+from repro.models import build_model
+
+BATCH_SIZES = (8, 16, 32, 64, 128)
+FF_EPOCH_GRID = (20, 30, 36, 45, 60, 90)
+BP_EPOCHS = 30
+
+
+def _run():
+    bundle = build_model("resnet18")
+    profile = profile_bundle(bundle, batch_size=1)
+    batch_sweep = sweep_batch_size(profile, batch_sizes=BATCH_SIZES,
+                                   dataset_size=50000)
+    epoch_sweep = sweep_epochs(profile, ff_epoch_grid=FF_EPOCH_GRID,
+                               bp_epochs=BP_EPOCHS, dataset_size=50000)
+    return batch_sweep, epoch_sweep
+
+
+@pytest.mark.benchmark(group="sweeps")
+def test_batch_size_and_epoch_sweeps(benchmark):
+    batch_sweep, epoch_sweep = run_once(benchmark, _run)
+
+    rows = []
+    for batch_size in batch_sweep.values():
+        index = batch_sweep.values().index(batch_size)
+        rows.append([
+            int(batch_size),
+            batch_sweep.series("BP-GDAI8", "memory_mb")[index],
+            batch_sweep.series("FF-INT8", "memory_mb")[index],
+            batch_sweep.savings("FF-INT8", "BP-GDAI8", "memory_mb")[batch_size],
+            batch_sweep.savings("FF-INT8", "BP-GDAI8", "time_s")[batch_size],
+        ])
+    emit("")
+    emit(format_table(
+        ["batch size", "GDAI8 mem (MB)", "FF-INT8 mem (MB)",
+         "memory saving %", "time saving %"],
+        rows,
+        title="Sweep — FF-INT8 vs BP-GDAI8 across mini-batch sizes (ResNet-18)",
+        float_format="{:.1f}",
+    ))
+
+    breakeven = breakeven_ff_epochs(epoch_sweep)
+    epoch_rows = []
+    for value in epoch_sweep.values():
+        index = epoch_sweep.values().index(value)
+        epoch_rows.append([
+            int(value),
+            epoch_sweep.series("FF-INT8", "time_s")[index],
+            epoch_sweep.series("BP-GDAI8", "time_s")[index],
+        ])
+    emit("")
+    emit(format_table(
+        ["FF-INT8 epochs", "FF-INT8 time (s)", f"BP-GDAI8 time (s, {BP_EPOCHS} epochs)"],
+        epoch_rows,
+        title=f"Sweep — FF-INT8 epoch budget vs the BP-GDAI8 time budget "
+              f"(break-even at {breakeven:.0f} FF epochs)",
+        float_format="{:.1f}",
+    ))
+
+    result = ExperimentResult(
+        experiment_id="sweep_batch_epochs",
+        paper_reference="extension of Table V",
+        description="Batch-size sweep and FF epoch break-even analysis on the "
+                    "hardware model",
+        parameters={"batch_sizes": list(BATCH_SIZES),
+                    "ff_epoch_grid": list(FF_EPOCH_GRID),
+                    "bp_epochs": BP_EPOCHS},
+        results={
+            "batch_sweep": batch_sweep.as_dict(),
+            "epoch_sweep": epoch_sweep.as_dict(),
+            "breakeven_ff_epochs": breakeven,
+        },
+    )
+    save_experiment(result)
+
+    memory_savings = batch_sweep.savings("FF-INT8", "BP-GDAI8", "memory_mb")
+    assert memory_savings[float(BATCH_SIZES[-1])] >= memory_savings[float(BATCH_SIZES[0])]
+    assert breakeven is not None and breakeven >= BP_EPOCHS

@@ -1,0 +1,110 @@
+"""Experiment E2 — Table I: MLP depth vs FP32/INT8 training accuracy.
+
+The paper trains MLPs with 0-3 hidden layers (500 neurons each) on MNIST with
+FP32 and with directly INT8-quantized gradients, and shows that the INT8
+accuracy collapses as depth grows while FP32 improves.  This benchmark runs
+the reduced-scale equivalent (64-unit layers, synthetic MNIST at 14x14) and
+prints the same table rows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import numpy as np
+
+from benchmarks._common import emit, run_once, save_experiment
+from repro.analysis import ExperimentResult, collect_first_layer_gradients, format_table
+from repro.models import build_mlp
+from repro.quant import QuantConfig, fake_quantize
+from repro.training import make_trainer
+
+DEPTHS = (0, 1, 2, 3)
+PAPER_TABLE1 = {
+    0: (89.5, 88.7),
+    1: (93.4, 73.8),
+    2: (94.5, 62.4),
+    3: (94.3, 65.2),
+}
+EPOCHS = 6
+HIDDEN_UNITS = 64
+
+
+def _train_depth_sweep(bench_mnist):
+    train, test = bench_mnist
+    rows = {}
+    for depth in DEPTHS:
+        accs = {}
+        for algorithm in ("BP-FP32", "BP-INT8"):
+            bundle = build_mlp(input_shape=(1, 14, 14), hidden_layers=depth,
+                               hidden_units=HIDDEN_UNITS, seed=0)
+            trainer = make_trainer(algorithm, epochs=EPOCHS, batch_size=32,
+                                   lr=0.05, seed=0)
+            history = trainer.fit(bundle, train, test)
+            accs[algorithm] = 100.0 * history.final_test_accuracy
+        # Mechanism metric: what fraction of the first layer's FP32 weight
+        # gradient is unresolvable (flushed to zero) by direct INT8
+        # quantization.  This grows with depth because deeper networks
+        # concentrate first-layer gradients near zero while keeping rare
+        # large outliers (Figure 3) — the cause of the Table I collapse.
+        probe = build_mlp(input_shape=(1, 14, 14), hidden_layers=depth,
+                          hidden_units=HIDDEN_UNITS, seed=0)
+        stats = collect_first_layer_gradients(probe, train, num_batches=6,
+                                              batch_size=32, rng=0)
+        quantized = fake_quantize(stats.samples, QuantConfig(rounding="nearest"))
+        accs["zero_fraction"] = 100.0 * float(np.mean(quantized == 0.0))
+        rows[depth] = accs
+    return rows
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_depth_vs_precision(benchmark, bench_mnist):
+    rows = run_once(benchmark, lambda: _train_depth_sweep(bench_mnist))
+
+    table_rows = []
+    for depth in DEPTHS:
+        fp32 = rows[depth]["BP-FP32"]
+        int8 = rows[depth]["BP-INT8"]
+        paper_fp32, paper_int8 = PAPER_TABLE1[depth]
+        table_rows.append([
+            depth, fp32, int8, int8 - fp32, rows[depth]["zero_fraction"],
+            paper_fp32, paper_int8, paper_int8 - paper_fp32,
+        ])
+    emit("")
+    emit(format_table(
+        ["hidden layers", "FP32 acc %", "INT8 acc %", "diff %",
+         "grad zeroed by INT8 %", "paper FP32", "paper INT8", "paper diff"],
+        table_rows,
+        title="Table I — MLP depth vs training precision (measured | paper)",
+        float_format="{:.1f}",
+    ))
+    emit("note: the synthetic stand-in task saturates with coarse gradients, so "
+         "the paper's accuracy collapse is attenuated here; the mechanism "
+         "(INT8 cannot resolve the first-layer gradients of deeper nets) is "
+         "shown by the 'grad zeroed' column.  See EXPERIMENTS.md.")
+
+    result = ExperimentResult(
+        experiment_id="table1_depth_vs_precision",
+        paper_reference="Table I",
+        description="MLP accuracy vs number of hidden layers for FP32 and "
+                    "directly-quantized INT8 backpropagation",
+        parameters={"depths": list(DEPTHS), "epochs": EPOCHS,
+                    "hidden_units": HIDDEN_UNITS},
+        paper_values={str(k): v for k, v in PAPER_TABLE1.items()},
+        notes="Accuracy collapse attenuated on the synthetic stand-in; the "
+              "gradient-resolution mechanism reproduces (zero fraction grows "
+              "with depth).",
+    )
+    for depth in DEPTHS:
+        result.record(f"depth{depth}_fp32", rows[depth]["BP-FP32"])
+        result.record(f"depth{depth}_int8", rows[depth]["BP-INT8"])
+        result.record(f"depth{depth}_grad_zero_fraction",
+                      rows[depth]["zero_fraction"])
+    save_experiment(result)
+
+    # Both trainers must complete with sane accuracy at every depth.
+    assert all(rows[d]["BP-FP32"] > 40.0 for d in DEPTHS)
+    assert all(0.0 <= rows[d]["BP-INT8"] <= 100.0 for d in DEPTHS)
+    # Mechanism of Table I: direct INT8 quantization zeroes a larger fraction
+    # of the first-layer gradient as the network gets deeper.
+    assert rows[DEPTHS[-1]]["zero_fraction"] > rows[DEPTHS[0]]["zero_fraction"]

@@ -1,0 +1,76 @@
+"""Edge-deployment planning: which training algorithm fits a device budget?
+
+The motivating scenario of the paper: a 4 GB Jetson-class device must train or
+fine-tune a model on-device under a memory and energy budget.  This example
+sweeps the four Table II architectures, asks the hardware model what each
+training algorithm would cost, and reports which (model, algorithm) pairs fit
+a user-specified budget — with FF-INT8 typically unlocking configurations
+that backpropagation cannot fit.
+
+Usage::
+
+    python examples/edge_device_budget.py --memory-mb 700 --energy-kj 40
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import TrainingCostModel, build_model, profile_bundle
+from repro.analysis import format_table
+from repro.hardware.estimator import TABLE5_DATASET_SIZE, TABLE5_EPOCHS
+from repro.models import PAPER_BENCHMARKS
+from repro.training import ALL_ALGORITHMS
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--memory-mb", type=float, default=700.0,
+                        help="resident-memory budget in MB (default 700)")
+    parser.add_argument("--energy-kj", type=float, default=40.0,
+                        help="energy budget in kJ for the full training run")
+    args = parser.parse_args()
+
+    cost_model = TrainingCostModel()
+    rows = []
+    fits = []
+    for model_row, info in PAPER_BENCHMARKS.items():
+        bundle = build_model(info["full"])
+        profile = profile_bundle(bundle, batch_size=1)
+        dataset_size = TABLE5_DATASET_SIZE[info["dataset"]]
+        for algorithm in ALL_ALGORITHMS:
+            estimate = cost_model.estimate(
+                profile, algorithm, epochs=TABLE5_EPOCHS[algorithm],
+                dataset_size=dataset_size, batch_size=32,
+            )
+            within = (estimate.memory_mb <= args.memory_mb
+                      and estimate.energy_j <= args.energy_kj * 1000.0)
+            rows.append([
+                model_row, algorithm, estimate.time_s, estimate.energy_j / 1000.0,
+                estimate.memory_mb, "yes" if within else "no",
+            ])
+            if within:
+                fits.append((model_row, algorithm))
+
+    print()
+    print(format_table(
+        ["model", "algorithm", "time (s)", "energy (kJ)", "memory (MB)",
+         "fits budget"],
+        rows,
+        title=(f"Training-cost estimates on the Jetson Orin Nano "
+               f"(budget: {args.memory_mb:.0f} MB, {args.energy_kj:.0f} kJ)"),
+        float_format="{:.1f}",
+    ))
+
+    ff_only = [
+        (model, algorithm) for model, algorithm in fits if algorithm == "FF-INT8"
+        and not any(m == model and a.startswith("BP") for m, a in fits)
+    ]
+    print(f"\n{len(fits)} (model, algorithm) pairs fit the budget.")
+    if ff_only:
+        unlocked = ", ".join(model for model, _ in ff_only)
+        print(f"FF-INT8 is the only algorithm that fits the budget for: {unlocked}")
+
+
+if __name__ == "__main__":
+    main()

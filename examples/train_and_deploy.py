@@ -1,0 +1,91 @@
+"""End-to-end edge workflow: FF-INT8 training, checkpointing, deployment.
+
+Walks through the full life-cycle a downstream user of FF-INT8 would follow
+on an edge device:
+
+1. train an MLP with FF-INT8 + look-ahead,
+2. save the trained layers to a checkpoint,
+3. restore the checkpoint into a fresh process (simulated here),
+4. attach a single-pass softmax readout head for cheap inference and compare
+   it against goodness-based label probing (which needs one forward pass per
+   candidate label).
+
+Usage::
+
+    python examples/train_and_deploy.py [--epochs N] [--checkpoint PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import tempfile
+from pathlib import Path
+
+from repro import FFInt8Config, FFInt8Trainer, build_model, synthetic_mnist
+from repro.core import (
+    ReadoutConfig,
+    SoftmaxReadout,
+    load_ff_checkpoint,
+    restore_classifier,
+    save_ff_checkpoint,
+)
+from repro.data import LabelOverlay
+from repro.training.schedules import LinearLambda
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--epochs", type=int, default=30)
+    parser.add_argument("--checkpoint", type=Path, default=None,
+                        help="where to store the checkpoint (default: tempdir)")
+    args = parser.parse_args()
+
+    train_set, test_set = synthetic_mnist(num_train=512, num_test=160,
+                                          seed=0, image_size=14)
+
+    # 1. Train with FF-INT8 + look-ahead (λ ramp scaled to the epoch budget).
+    bundle = build_model("mlp-mini", hidden_units=64)
+    config = FFInt8Config(
+        epochs=args.epochs, batch_size=64, lr=0.02, overlay_amplitude=2.0,
+        lambda_schedule=LinearLambda(0.0, 0.25 / args.epochs),
+        evaluate_every=10, eval_max_samples=160, seed=0,
+    )
+    history = FFInt8Trainer(config).fit(bundle, train_set, test_set)
+    units = history.metadata["units"]
+    print(f"trained {bundle.name} for {args.epochs} epochs; "
+          f"goodness-probe accuracy {history.final_test_accuracy:.3f}")
+
+    # 2. Checkpoint the trained layers.
+    checkpoint_dir = args.checkpoint or Path(tempfile.mkdtemp()) / "ff_mlp"
+    checkpoint_path = save_ff_checkpoint(units, bundle, config, checkpoint_dir)
+    print(f"checkpoint written to {checkpoint_path} (+ .json metadata)")
+
+    # 3. Restore into a fresh bundle, as a deployment process would.
+    checkpoint = load_ff_checkpoint(checkpoint_path)
+    fresh_bundle = build_model("mlp-mini", hidden_units=64, seed=999)
+    classifier = restore_classifier(checkpoint, fresh_bundle)
+    probe_accuracy = classifier.accuracy(test_set)
+    print(f"restored goodness-probe accuracy: {probe_accuracy:.3f} "
+          f"(needs {train_set.num_classes} forward passes per prediction)")
+
+    # 4. Train the single-pass softmax readout head on the frozen features.
+    readout = SoftmaxReadout(
+        classifier.units,
+        LabelOverlay(train_set.num_classes, amplitude=config.overlay_amplitude),
+        num_classes=train_set.num_classes,
+        flatten_input=True,
+        config=ReadoutConfig(epochs=25, lr=0.2, seed=0),
+    )
+    readout.fit(train_set)
+    readout_accuracy = readout.accuracy(test_set)
+    print(f"softmax readout accuracy:        {readout_accuracy:.3f} "
+          f"(single forward pass per prediction)")
+
+    speedup = train_set.num_classes
+    print(f"\nAt inference time the readout head replaces {speedup} "
+          f"label-probing passes with 1 pass plus one small matmul — the "
+          f"deployment configuration an edge device would ship.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+Kept so that the package remains installable in fully offline environments
+where the ``wheel`` package is unavailable and PEP 660 editable installs
+cannot be built (``pip install -e . --no-use-pep517 --no-build-isolation``
+falls back to the legacy ``setup.py develop`` path).  All project metadata
+lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

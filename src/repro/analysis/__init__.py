@@ -1,0 +1,20 @@
+"""Analysis utilities: gradient statistics, experiment records, reporting."""
+
+from repro.analysis.experiment import ExperimentResult, ExperimentSuite
+from repro.analysis.gradient_stats import (
+    GradientDistribution,
+    collect_first_layer_gradients,
+    summarize_gradients,
+)
+from repro.analysis.reporting import format_relative, format_table, histogram_to_ascii
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentSuite",
+    "GradientDistribution",
+    "collect_first_layer_gradients",
+    "summarize_gradients",
+    "format_table",
+    "format_relative",
+    "histogram_to_ascii",
+]

@@ -1,0 +1,69 @@
+"""Experiment records tying benchmark runs to the paper's tables/figures."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.utils.serialization import save_json
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced experiment (a table or figure of the paper)."""
+
+    experiment_id: str
+    paper_reference: str
+    description: str
+    parameters: Dict[str, Any] = field(default_factory=dict)
+    results: Dict[str, Any] = field(default_factory=dict)
+    paper_values: Dict[str, Any] = field(default_factory=dict)
+    notes: str = ""
+    timestamp: float = field(default_factory=time.time)
+
+    def record(self, key: str, value: Any) -> None:
+        """Add one measured value."""
+        self.results[key] = value
+
+    def as_dict(self) -> dict:
+        """JSON-serializable record."""
+        return {
+            "experiment_id": self.experiment_id,
+            "paper_reference": self.paper_reference,
+            "description": self.description,
+            "parameters": self.parameters,
+            "results": self.results,
+            "paper_values": self.paper_values,
+            "notes": self.notes,
+            "timestamp": self.timestamp,
+        }
+
+    def save(self, directory: Path | str) -> Path:
+        """Persist the record as ``<experiment_id>.json`` under ``directory``."""
+        directory = Path(directory)
+        return save_json(self.as_dict(), directory / f"{self.experiment_id}.json")
+
+
+@dataclass
+class ExperimentSuite:
+    """Collection of experiment results for one benchmark session."""
+
+    name: str
+    results: Dict[str, ExperimentResult] = field(default_factory=dict)
+
+    def add(self, result: ExperimentResult) -> ExperimentResult:
+        """Register a result (experiment ids must be unique)."""
+        if result.experiment_id in self.results:
+            raise ValueError(f"duplicate experiment id {result.experiment_id!r}")
+        self.results[result.experiment_id] = result
+        return result
+
+    def get(self, experiment_id: str) -> Optional[ExperimentResult]:
+        """Look up a result by id."""
+        return self.results.get(experiment_id)
+
+    def save_all(self, directory: Path | str) -> list[Path]:
+        """Persist every result; returns the written paths."""
+        return [result.save(directory) for result in self.results.values()]

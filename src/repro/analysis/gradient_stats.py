@@ -1,0 +1,142 @@
+"""Gradient-distribution analysis (Figure 3 and Section IV-A of the paper).
+
+The paper's motivating observation is that the first-layer gradient
+distribution becomes sharper (more mass near zero, larger extreme values) as
+the network gets deeper, which is what makes direct INT8 gradient
+quantization fail.  This module collects first-layer gradients during FP32
+backpropagation and summarizes their distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset, DataLoader
+from repro.models.base import ModelBundle
+from repro.nn.linear import Linear
+from repro.nn.losses import CrossEntropyLoss
+from repro.quant.qconfig import QuantConfig
+from repro.quant.suq import quantization_error
+from repro.utils.rng import RngLike, new_rng
+
+
+@dataclass
+class GradientDistribution:
+    """Summary statistics of one gradient tensor population."""
+
+    name: str
+    count: int
+    mean: float
+    std: float
+    abs_max: float
+    kurtosis: float
+    percentile_99_9: float
+    histogram: Tuple[np.ndarray, np.ndarray]
+    int8_quantization_error: float
+    samples: np.ndarray = field(repr=False, default_factory=lambda: np.empty(0))
+
+    @property
+    def sharpness(self) -> float:
+        """Ratio of the extreme value to the 99.9th percentile.
+
+        A large ratio means the distribution has rare outliers far beyond the
+        bulk — exactly the shape that wastes INT8 levels (Figure 3).
+        """
+        if self.percentile_99_9 == 0.0:
+            return float("inf") if self.abs_max > 0 else 1.0
+        return self.abs_max / self.percentile_99_9
+
+    def as_dict(self) -> dict:
+        """JSON-serializable summary (histogram arrays included as lists)."""
+        counts, edges = self.histogram
+        return {
+            "name": self.name,
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "abs_max": self.abs_max,
+            "kurtosis": self.kurtosis,
+            "percentile_99_9": self.percentile_99_9,
+            "sharpness": self.sharpness,
+            "int8_quantization_error": self.int8_quantization_error,
+            "histogram_counts": counts.tolist(),
+            "histogram_edges": edges.tolist(),
+        }
+
+
+def summarize_gradients(
+    gradients: np.ndarray, name: str = "gradients", bins: int = 60
+) -> GradientDistribution:
+    """Compute distribution statistics of a flat gradient sample."""
+    flat = np.asarray(gradients, dtype=np.float64).ravel()
+    if flat.size == 0:
+        raise ValueError("cannot summarize an empty gradient sample")
+    mean = float(flat.mean())
+    std = float(flat.std())
+    centered = flat - mean
+    variance = float(np.mean(centered**2))
+    kurtosis = float(np.mean(centered**4) / (variance**2 + 1e-24))
+    histogram = np.histogram(flat, bins=bins)
+    return GradientDistribution(
+        name=name,
+        count=int(flat.size),
+        mean=mean,
+        std=std,
+        abs_max=float(np.max(np.abs(flat))),
+        kurtosis=kurtosis,
+        percentile_99_9=float(np.percentile(np.abs(flat), 99.9)),
+        histogram=histogram,
+        int8_quantization_error=quantization_error(
+            flat.astype(np.float32), QuantConfig(rounding="nearest")
+        ),
+        samples=flat.astype(np.float32),
+    )
+
+
+def collect_first_layer_gradients(
+    bundle: ModelBundle,
+    dataset: ArrayDataset,
+    num_batches: int = 8,
+    batch_size: int = 32,
+    rng: RngLike = 0,
+) -> GradientDistribution:
+    """Gradients of the first Linear/Conv layer under FP32 backpropagation.
+
+    The model is *not* updated — this reproduces Figure 3's measurement of
+    the gradient distribution at initialization-time training steps.
+    """
+    rng = new_rng(rng)
+    model = bundle.bp_model()
+    model.train()
+    model.set_activation_caching(True)
+    loss_fn = CrossEntropyLoss(dataset.num_classes)
+    loader = DataLoader(dataset, batch_size=batch_size, shuffle=True, rng=rng)
+
+    first_layer: Optional[Linear] = None
+    for module in model.modules():
+        if isinstance(module, Linear):
+            first_layer = module
+            break
+    if first_layer is None:
+        raise ValueError("bundle has no Linear layer to inspect")
+
+    collected: List[np.ndarray] = []
+    for batch_index, (images, labels) in enumerate(loader):
+        if batch_index >= num_batches:
+            break
+        inputs = images.reshape(images.shape[0], -1) if bundle.flatten_input else images
+        logits = model(inputs)
+        _, grad_logits = loss_fn(logits, labels)
+        model.zero_grad()
+        model.backward(grad_logits)
+        if first_layer.weight.grad is not None:
+            collected.append(first_layer.weight.grad.copy().ravel())
+        model.clear_cache()
+    if not collected:
+        raise RuntimeError("no gradients were collected (empty dataset?)")
+    return summarize_gradients(
+        np.concatenate(collected), name=f"{bundle.name}-first-layer"
+    )

@@ -1,0 +1,79 @@
+"""Plain-text table rendering for benchmark output.
+
+The benchmark harnesses print paper-style tables to stdout; these helpers keep
+the formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render an ASCII table with aligned columns."""
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(float_format.format(cell))
+            elif cell is None:
+                rendered.append("-")
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_line([str(h) for h in headers]))
+    lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(render_line(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def format_relative(value: float, reference: float, as_percent: bool = True) -> str:
+    """Format ``value`` with its relative difference to ``reference``.
+
+    Mirrors the ``1703.9 (-28.1%)`` style used in Table V of the paper.
+    """
+    if reference == 0:
+        return f"{value:.1f}"
+    delta = (value - reference) / reference
+    if as_percent:
+        return f"{value:.1f} ({delta:+.1%})"
+    return f"{value:.1f} ({delta:+.3f})"
+
+
+def histogram_to_ascii(
+    counts: Sequence[float], edges: Sequence[float], width: int = 40, max_rows: int = 20
+) -> str:
+    """Render a histogram as ASCII bars (used for Figure 3's distributions)."""
+    counts = list(counts)
+    edges = list(edges)
+    if len(edges) != len(counts) + 1:
+        raise ValueError("edges must have exactly one more entry than counts")
+    if not counts:
+        return "(empty histogram)"
+    step = max(1, len(counts) // max_rows)
+    peak = max(counts) or 1.0
+    lines = []
+    for start in range(0, len(counts), step):
+        stop = min(start + step, len(counts))
+        bucket = sum(counts[start:stop])
+        bar = "#" * int(round(width * bucket / (peak * step)))
+        lines.append(f"[{edges[start]:+.4f}, {edges[stop]:+.4f}) {bar}")
+    return "\n".join(lines)

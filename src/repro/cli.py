@@ -1,0 +1,157 @@
+"""Command-line interface for the FF-INT8 reproduction.
+
+Three subcommands cover the common workflows::
+
+    python -m repro models                      # list registered architectures
+    python -m repro train --model mlp-mini --algorithm FF-INT8 --epochs 20
+    python -m repro estimate --model resnet18   # Jetson Orin Nano cost table
+
+The CLI is intentionally thin: it wires the public library API together so
+that the same behaviour is scriptable without writing Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis import format_table
+from repro.data import synthetic_cifar10, synthetic_mnist
+from repro.hardware import TrainingCostModel, profile_bundle
+from repro.models import available_models, build_model
+from repro.training import ALL_ALGORITHMS, make_trainer
+from repro.utils.serialization import save_json
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FF-INT8: Forward-Forward INT8 training (DAC 2025 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("models", help="list registered model architectures")
+
+    train = subparsers.add_parser("train", help="train a model with one algorithm")
+    train.add_argument("--model", default="mlp-mini",
+                       help="registry name (see `repro models`)")
+    train.add_argument("--algorithm", default="FF-INT8", choices=ALL_ALGORITHMS)
+    train.add_argument("--dataset", default="mnist", choices=("mnist", "cifar10"))
+    train.add_argument("--epochs", type=int, default=20)
+    train.add_argument("--batch-size", type=int, default=32)
+    train.add_argument("--lr", type=float, default=None,
+                       help="learning rate (defaults per algorithm)")
+    train.add_argument("--train-samples", type=int, default=512)
+    train.add_argument("--test-samples", type=int, default=160)
+    train.add_argument("--image-size", type=int, default=None,
+                       help="override dataset resolution (e.g. 14 or 16)")
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--output", default=None,
+                       help="optional path for a JSON run summary")
+
+    estimate = subparsers.add_parser(
+        "estimate", help="estimate Jetson Orin Nano training cost for a model"
+    )
+    estimate.add_argument("--model", default="resnet18")
+    estimate.add_argument("--epochs", type=int, default=None,
+                          help="epochs for every algorithm (default: per-algorithm)")
+    estimate.add_argument("--dataset-size", type=int, default=50000)
+    estimate.add_argument("--batch-size", type=int, default=32)
+    return parser
+
+
+def _load_dataset(args):
+    image_size = args.image_size
+    if args.dataset == "mnist":
+        return synthetic_mnist(
+            num_train=args.train_samples, num_test=args.test_samples,
+            seed=args.seed, image_size=image_size or 28,
+        )
+    return synthetic_cifar10(
+        num_train=args.train_samples, num_test=args.test_samples,
+        seed=args.seed, image_size=image_size or 32,
+    )
+
+
+def _default_input_shape(args) -> tuple:
+    channels = 1 if args.dataset == "mnist" else 3
+    size = args.image_size or (28 if args.dataset == "mnist" else 32)
+    return (channels, size, size)
+
+
+def _cmd_models() -> int:
+    for name in available_models():
+        print(name)
+    return 0
+
+
+def _cmd_train(args) -> int:
+    train_set, test_set = _load_dataset(args)
+    bundle = build_model(args.model, input_shape=_default_input_shape(args))
+    print(f"training {bundle.name} ({bundle.num_parameters():,} parameters) "
+          f"with {args.algorithm} for {args.epochs} epochs")
+
+    kwargs = {"epochs": args.epochs, "batch_size": args.batch_size,
+              "seed": args.seed}
+    if args.lr is not None:
+        kwargs["lr"] = args.lr
+    trainer = make_trainer(args.algorithm, **kwargs)
+    history = trainer.fit(bundle, train_set, test_set)
+
+    rows = [
+        [record.epoch, record.train_loss,
+         None if record.test_accuracy is None else 100 * record.test_accuracy]
+        for record in history.records
+    ]
+    print(format_table(["epoch", "train loss", "test acc %"], rows,
+                       float_format="{:.3f}"))
+    final = history.final_test_accuracy
+    print(f"final test accuracy: "
+          f"{'n/a' if final is None else f'{100 * final:.1f}%'}")
+
+    if args.output:
+        save_json(history.as_dict(), args.output)
+        print(f"run summary written to {args.output}")
+    return 0
+
+
+def _cmd_estimate(args) -> int:
+    bundle = build_model(args.model)
+    profile = profile_bundle(bundle, batch_size=1)
+    cost_model = TrainingCostModel()
+    rows = []
+    for algorithm in ALL_ALGORITHMS:
+        estimate = cost_model.estimate(
+            profile, algorithm, epochs=args.epochs,
+            dataset_size=args.dataset_size, batch_size=args.batch_size,
+        )
+        rows.append([
+            algorithm, estimate.epochs, estimate.time_s, estimate.energy_j,
+            estimate.memory_mb, estimate.average_power_w,
+        ])
+    print(format_table(
+        ["algorithm", "epochs", "time (s)", "energy (J)", "memory (MB)",
+         "avg power (W)"],
+        rows,
+        title=f"Jetson Orin Nano training-cost estimates for {bundle.name}",
+        float_format="{:.1f}",
+    ))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "models":
+        return _cmd_models()
+    if args.command == "train":
+        return _cmd_train(args)
+    if args.command == "estimate":
+        return _cmd_estimate(args)
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,75 @@
+"""Goodness functions for Forward-Forward training.
+
+The goodness of a layer quantifies how "excited" the layer is about its input
+(Section III of the paper).  The standard choice — used by the paper and by
+Hinton's original formulation — is the sum of squared neural activities; a
+mean-squared variant is provided because it keeps the goodness scale
+independent of layer width, which is convenient when mixing layers of very
+different sizes in the look-ahead objective.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class GoodnessFunction:
+    """Interface: per-sample goodness value and its gradient w.r.t. activity."""
+
+    name = "goodness"
+
+    def value(self, activity: np.ndarray) -> np.ndarray:
+        """Per-sample goodness, shape ``(N,)`` for activity ``(N, ...)``."""
+        raise NotImplementedError
+
+    def grad(self, activity: np.ndarray) -> np.ndarray:
+        """Gradient of the per-sample goodness w.r.t. the activity tensor."""
+        raise NotImplementedError
+
+
+class SumSquaredGoodness(GoodnessFunction):
+    """``G(y) = sum_i y_i^2`` over all non-batch dimensions (paper default)."""
+
+    name = "sum_squares"
+
+    def value(self, activity: np.ndarray) -> np.ndarray:
+        flat = activity.reshape(activity.shape[0], -1)
+        return np.sum(flat * flat, axis=1).astype(np.float32)
+
+    def grad(self, activity: np.ndarray) -> np.ndarray:
+        return (2.0 * activity).astype(np.float32)
+
+
+class MeanSquaredGoodness(GoodnessFunction):
+    """``G(y) = mean_i y_i^2`` — width-normalized goodness.
+
+    Dividing by the number of units keeps θ meaningful across layers of
+    different sizes (e.g. a 64-channel conv block vs a 512-unit dense layer),
+    which stabilizes the look-ahead objective for the convolutional models.
+    """
+
+    name = "mean_squares"
+
+    def value(self, activity: np.ndarray) -> np.ndarray:
+        flat = activity.reshape(activity.shape[0], -1)
+        return np.mean(flat * flat, axis=1).astype(np.float32)
+
+    def grad(self, activity: np.ndarray) -> np.ndarray:
+        width = float(np.prod(activity.shape[1:]))
+        return (2.0 * activity / width).astype(np.float32)
+
+
+_GOODNESS_REGISTRY = {
+    SumSquaredGoodness.name: SumSquaredGoodness,
+    MeanSquaredGoodness.name: MeanSquaredGoodness,
+}
+
+
+def build_goodness(name: str) -> GoodnessFunction:
+    """Instantiate a goodness function by name."""
+    if name not in _GOODNESS_REGISTRY:
+        raise ValueError(
+            f"unknown goodness function {name!r}; "
+            f"available: {sorted(_GOODNESS_REGISTRY)}"
+        )
+    return _GOODNESS_REGISTRY[name]()

@@ -1,0 +1,93 @@
+"""Forward-Forward losses (Equations 1 and 2 of the paper).
+
+For a layer with goodness ``G`` and threshold ``θ``:
+
+* positive samples:  ``L_pos = log(1 + exp(-(G - θ)))`` — pushed *above* θ,
+* negative samples:  ``L_neg = log(1 + exp(+(G - θ)))`` — pushed *below* θ.
+
+Both are the negative log-likelihood of a logistic model
+``p(positive) = σ(G - θ)``.  The gradients with respect to ``G`` are the
+standard logistic residuals, which combined with the goodness gradient
+``∂G/∂y`` give the layer-local activity gradient ``g_Y`` that FF-INT8
+quantizes to INT8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.functional import sigmoid, softplus
+
+
+def positive_loss(goodness: np.ndarray, theta: float) -> np.ndarray:
+    """Per-sample loss on positive data (Equation 1)."""
+    return softplus(-(np.asarray(goodness, dtype=np.float64) - theta)).astype(
+        np.float32
+    )
+
+
+def negative_loss(goodness: np.ndarray, theta: float) -> np.ndarray:
+    """Per-sample loss on negative data (Equation 2)."""
+    return softplus(np.asarray(goodness, dtype=np.float64) - theta).astype(np.float32)
+
+
+def positive_loss_grad(goodness: np.ndarray, theta: float) -> np.ndarray:
+    """``∂L_pos/∂G`` per sample: ``-σ(θ - G)``."""
+    return (-sigmoid(theta - np.asarray(goodness, dtype=np.float64))).astype(
+        np.float32
+    )
+
+
+def negative_loss_grad(goodness: np.ndarray, theta: float) -> np.ndarray:
+    """``∂L_neg/∂G`` per sample: ``σ(G - θ)``."""
+    return sigmoid(np.asarray(goodness, dtype=np.float64) - theta).astype(np.float32)
+
+
+@dataclass
+class FFLoss:
+    """Bundles the positive/negative FF losses for a fixed threshold θ."""
+
+    theta: float = 2.0
+
+    def loss(self, goodness: np.ndarray, positive: bool) -> np.ndarray:
+        """Per-sample loss for a batch of goodness values."""
+        if positive:
+            return positive_loss(goodness, self.theta)
+        return negative_loss(goodness, self.theta)
+
+    def loss_grad(self, goodness: np.ndarray, positive: bool) -> np.ndarray:
+        """Per-sample ``∂L/∂G``."""
+        if positive:
+            return positive_loss_grad(goodness, self.theta)
+        return negative_loss_grad(goodness, self.theta)
+
+    def mean_loss(self, goodness: np.ndarray, positive: bool) -> float:
+        """Batch-mean loss (the quantity reported per epoch)."""
+        return float(np.mean(self.loss(goodness, positive)))
+
+    def activity_grad(
+        self,
+        activity: np.ndarray,
+        goodness_grad_fn,
+        goodness: np.ndarray,
+        positive: bool,
+    ) -> np.ndarray:
+        """Gradient of the batch-mean loss w.r.t. the layer activity ``y``.
+
+        ``∂L/∂y = (1/N) * ∂L/∂G * ∂G/∂y`` — the per-layer gradient ``g_Y``
+        of Figure 4, before INT8 quantization.
+        """
+        batch = activity.shape[0]
+        per_sample = self.loss_grad(goodness, positive) / float(batch)
+        broadcast_shape = (batch,) + (1,) * (activity.ndim - 1)
+        return (per_sample.reshape(broadcast_shape) * goodness_grad_fn(activity)).astype(
+            np.float32
+        )
+
+    def probability_positive(self, goodness: np.ndarray) -> np.ndarray:
+        """``p(positive) = σ(G - θ)`` — used by diagnostics and tests."""
+        return sigmoid(np.asarray(goodness, dtype=np.float64) - self.theta).astype(
+            np.float32
+        )

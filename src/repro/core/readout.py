@@ -1,0 +1,147 @@
+"""Softmax readout head for Forward-Forward trained networks.
+
+Goodness-based classification (label probing) needs one forward pass per
+candidate label, which multiplies inference cost by the number of classes.
+Hinton (2022) proposes the alternative used here: freeze the FF-trained
+layers, feed inputs with a *neutral* label overlay, and train a small softmax
+classifier on the concatenated (length-normalized) hidden activities.  This
+gives single-pass inference and usually slightly higher accuracy, at the cost
+of one extra linear layer — it is the natural deployment companion to
+FF-INT8 on edge devices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset, DataLoader
+from repro.data.overlay import LabelOverlay
+from repro.nn.functional import l2_normalize
+from repro.nn.linear import Linear
+from repro.nn.losses import CrossEntropyLoss, accuracy
+from repro.nn.module import Module
+from repro.training.optim import SGD
+from repro.utils.rng import RngLike, new_rng
+
+
+@dataclass
+class ReadoutConfig:
+    """Training configuration of the softmax readout head."""
+
+    epochs: int = 20
+    batch_size: int = 64
+    lr: float = 0.1
+    momentum: float = 0.9
+    weight_decay: float = 1e-4
+    skip_first_layer: Optional[bool] = None
+    normalize_features: bool = True
+    seed: int = 0
+
+
+class SoftmaxReadout:
+    """Linear softmax classifier over frozen FF-layer activities."""
+
+    def __init__(
+        self,
+        units: Sequence[Module],
+        overlay: LabelOverlay,
+        num_classes: int,
+        flatten_input: bool = False,
+        config: Optional[ReadoutConfig] = None,
+    ) -> None:
+        if not units:
+            raise ValueError("readout needs at least one trained FF unit")
+        self.units = list(units)
+        self.overlay = overlay
+        self.num_classes = num_classes
+        self.flatten_input = flatten_input
+        self.config = config if config is not None else ReadoutConfig()
+        skip = self.config.skip_first_layer
+        self.skip_first_layer = (len(self.units) >= 2) if skip is None else skip
+        self.head: Optional[Linear] = None
+        self._feature_dim: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    def features(self, inputs: np.ndarray) -> np.ndarray:
+        """Concatenated hidden activities for a batch of raw inputs.
+
+        Inputs get the neutral (uniform) label overlay so that no label
+        information leaks into the representation.
+        """
+        was_training = [unit.training for unit in self.units]
+        for unit in self.units:
+            unit.eval()
+        overlaid = self.overlay.neutral(inputs)
+        hidden = (
+            overlaid.reshape(overlaid.shape[0], -1)
+            if self.flatten_input
+            else overlaid
+        )
+        collected: List[np.ndarray] = []
+        for index, unit in enumerate(self.units):
+            hidden = unit(hidden)
+            if self.skip_first_layer and index == 0:
+                continue
+            flat = hidden.reshape(hidden.shape[0], -1)
+            if self.config.normalize_features:
+                flat = l2_normalize(flat, axis=1)
+            collected.append(flat)
+        for unit, mode in zip(self.units, was_training):
+            unit.train(mode)
+        return np.concatenate(collected, axis=1).astype(np.float32)
+
+    # ------------------------------------------------------------------ #
+    def fit(self, dataset: ArrayDataset, rng: RngLike = None) -> List[float]:
+        """Train the readout head on ``dataset``; returns per-epoch losses."""
+        config = self.config
+        rng = new_rng(rng if rng is not None else config.seed)
+        sample_features = self.features(dataset.images[:1])
+        self._feature_dim = sample_features.shape[1]
+        self.head = Linear(self._feature_dim, self.num_classes, rng=rng)
+        optimizer = SGD(
+            self.head.parameters(), lr=config.lr, momentum=config.momentum,
+            weight_decay=config.weight_decay,
+        )
+        loss_fn = CrossEntropyLoss(self.num_classes)
+        loader = DataLoader(dataset, batch_size=config.batch_size, shuffle=True,
+                            rng=rng)
+        epoch_losses: List[float] = []
+        for _ in range(config.epochs):
+            total, count = 0.0, 0
+            for images, labels in loader:
+                feats = self.features(images)
+                logits = self.head(feats)
+                loss, grad = loss_fn(logits, labels)
+                optimizer.zero_grad()
+                self.head.backward(grad)
+                optimizer.step()
+                self.head.clear_cache()
+                total += loss * labels.shape[0]
+                count += labels.shape[0]
+            epoch_losses.append(total / max(count, 1))
+        return epoch_losses
+
+    # ------------------------------------------------------------------ #
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        """Predicted labels for raw inputs (single forward pass)."""
+        if self.head is None:
+            raise RuntimeError("readout head is not trained; call fit() first")
+        return np.argmax(self.head(self.features(inputs)), axis=1)
+
+    def accuracy(self, dataset: ArrayDataset, batch_size: int = 128,
+                 max_samples: Optional[int] = None) -> float:
+        """Top-1 accuracy of the readout head on ``dataset``."""
+        if self.head is None:
+            raise RuntimeError("readout head is not trained; call fit() first")
+        total = len(dataset) if max_samples is None else min(max_samples, len(dataset))
+        if total == 0:
+            return 0.0
+        correct = 0.0
+        for start in range(0, total, batch_size):
+            stop = min(start + batch_size, total)
+            logits = self.head(self.features(dataset.images[start:stop]))
+            correct += accuracy(logits, dataset.labels[start:stop]) * (stop - start)
+        return correct / total

@@ -1,0 +1,111 @@
+"""Dataset and mini-batch loading utilities."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import RngLike, new_rng
+
+
+@dataclass
+class ArrayDataset:
+    """In-memory dataset of ``(images, labels)`` arrays.
+
+    ``images`` has shape ``(N, ...)`` and ``labels`` shape ``(N,)``.  All of
+    the repo's synthetic datasets produce this type.
+    """
+
+    images: np.ndarray
+    labels: np.ndarray
+    num_classes: int
+    name: str = "dataset"
+
+    def __post_init__(self) -> None:
+        self.images = np.asarray(self.images, dtype=np.float32)
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+        if self.images.shape[0] != self.labels.shape[0]:
+            raise ValueError(
+                f"images and labels disagree on sample count: "
+                f"{self.images.shape[0]} vs {self.labels.shape[0]}"
+            )
+        if self.labels.size and (
+            self.labels.min() < 0 or self.labels.max() >= self.num_classes
+        ):
+            raise ValueError(
+                f"labels out of range for {self.num_classes} classes: "
+                f"[{self.labels.min()}, {self.labels.max()}]"
+            )
+
+    def __len__(self) -> int:
+        return int(self.images.shape[0])
+
+    def __getitem__(self, index) -> Tuple[np.ndarray, np.ndarray]:
+        return self.images[index], self.labels[index]
+
+    @property
+    def sample_shape(self) -> Tuple[int, ...]:
+        """Shape of a single sample (without the batch dimension)."""
+        return tuple(self.images.shape[1:])
+
+    def subset(self, indices: np.ndarray, name: Optional[str] = None) -> "ArrayDataset":
+        """Return a new dataset restricted to ``indices``."""
+        return ArrayDataset(
+            images=self.images[indices],
+            labels=self.labels[indices],
+            num_classes=self.num_classes,
+            name=name or f"{self.name}-subset",
+        )
+
+    def split(
+        self, train_fraction: float, rng: RngLike = None
+    ) -> Tuple["ArrayDataset", "ArrayDataset"]:
+        """Shuffle and split into (train, test) datasets."""
+        if not 0.0 < train_fraction < 1.0:
+            raise ValueError(
+                f"train_fraction must lie in (0, 1), got {train_fraction}"
+            )
+        rng = new_rng(rng)
+        order = rng.permutation(len(self))
+        cut = int(round(train_fraction * len(self)))
+        return (
+            self.subset(order[:cut], name=f"{self.name}-train"),
+            self.subset(order[cut:], name=f"{self.name}-test"),
+        )
+
+
+class DataLoader:
+    """Mini-batch iterator over an :class:`ArrayDataset`."""
+
+    def __init__(
+        self,
+        dataset: ArrayDataset,
+        batch_size: int = 32,
+        shuffle: bool = True,
+        drop_last: bool = False,
+        rng: RngLike = None,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self.rng = new_rng(rng)
+
+    def __len__(self) -> int:
+        count = len(self.dataset)
+        if self.drop_last:
+            return count // self.batch_size
+        return (count + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        count = len(self.dataset)
+        order = self.rng.permutation(count) if self.shuffle else np.arange(count)
+        for start in range(0, count, self.batch_size):
+            batch_idx = order[start : start + self.batch_size]
+            if self.drop_last and batch_idx.shape[0] < self.batch_size:
+                break
+            yield self.dataset.images[batch_idx], self.dataset.labels[batch_idx]

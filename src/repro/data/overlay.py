@@ -1,0 +1,119 @@
+"""Positive/negative sample construction for Forward-Forward training.
+
+Following Hinton (2022) and Section III of the paper, label information is
+embedded into the input by overwriting a small region with a one-hot encoding
+of a label:
+
+* **positive samples** carry the true label,
+* **negative samples** carry a uniformly-drawn wrong label.
+
+For flat inputs the first ``num_classes`` features are replaced; for image
+inputs the first ``num_classes`` pixels of the first row of channel 0 are
+replaced.  The overlay amplitude is configurable because the goodness of a
+layer is the sum of squared activities — the label pixels must be visible
+against the image statistics but must not dominate them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.nn.functional import one_hot
+from repro.utils.rng import RngLike, new_rng
+
+
+@dataclass
+class LabelOverlay:
+    """Embeds one-hot labels into input tensors."""
+
+    num_classes: int
+    amplitude: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.num_classes < 2:
+            raise ValueError(f"num_classes must be >= 2, got {self.num_classes}")
+        if self.amplitude <= 0:
+            raise ValueError(f"amplitude must be positive, got {self.amplitude}")
+
+    # ------------------------------------------------------------------ #
+    def embed(self, inputs: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        """Return a copy of ``inputs`` with ``labels`` embedded."""
+        labels = np.asarray(labels, dtype=np.int64)
+        if labels.shape[0] != inputs.shape[0]:
+            raise ValueError(
+                f"batch mismatch: inputs {inputs.shape[0]} vs labels {labels.shape[0]}"
+            )
+        encoding = self.amplitude * one_hot(labels, self.num_classes)
+        out = np.array(inputs, dtype=np.float32, copy=True)
+        if inputs.ndim == 2:
+            if inputs.shape[1] < self.num_classes:
+                raise ValueError(
+                    f"flat inputs need at least {self.num_classes} features, "
+                    f"got {inputs.shape[1]}"
+                )
+            out[:, : self.num_classes] = encoding
+        elif inputs.ndim == 4:
+            if inputs.shape[3] < self.num_classes:
+                raise ValueError(
+                    f"image width {inputs.shape[3]} is smaller than "
+                    f"num_classes={self.num_classes}"
+                )
+            out[:, 0, 0, : self.num_classes] = encoding
+        else:
+            raise ValueError(
+                f"inputs must be (N, F) or (N, C, H, W), got shape {inputs.shape}"
+            )
+        return out
+
+    def neutral(self, inputs: np.ndarray) -> np.ndarray:
+        """Embed a uniform (uninformative) label vector, used at inference."""
+        out = np.array(inputs, dtype=np.float32, copy=True)
+        fill = self.amplitude / self.num_classes
+        if inputs.ndim == 2:
+            out[:, : self.num_classes] = fill
+        elif inputs.ndim == 4:
+            out[:, 0, 0, : self.num_classes] = fill
+        else:
+            raise ValueError(
+                f"inputs must be (N, F) or (N, C, H, W), got shape {inputs.shape}"
+            )
+        return out
+
+    # ------------------------------------------------------------------ #
+    def positive(self, inputs: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        """Positive samples: overlay of the true label."""
+        return self.embed(inputs, labels)
+
+    def negative(
+        self,
+        inputs: np.ndarray,
+        labels: np.ndarray,
+        rng: RngLike = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Negative samples: overlay of a uniformly-drawn *wrong* label.
+
+        Returns ``(negative_inputs, wrong_labels)``.
+        """
+        rng = new_rng(rng)
+        labels = np.asarray(labels, dtype=np.int64)
+        offsets = rng.integers(1, self.num_classes, size=labels.shape[0])
+        wrong = (labels + offsets) % self.num_classes
+        return self.embed(inputs, wrong), wrong
+
+    def candidates(self, inputs: np.ndarray) -> np.ndarray:
+        """All per-class overlays for inference-time label probing.
+
+        Returns an array of shape ``(num_classes, N, ...)`` where slice ``c``
+        is the batch overlaid with label ``c``.  FF classification evaluates
+        the network's accumulated goodness for every slice and predicts the
+        argmax.
+        """
+        batch = inputs.shape[0]
+        stacked = []
+        for label in range(self.num_classes):
+            labels = np.full(batch, label, dtype=np.int64)
+            stacked.append(self.embed(inputs, labels))
+        return np.stack(stacked, axis=0)

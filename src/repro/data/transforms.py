@@ -1,0 +1,96 @@
+"""Batch-level data transforms.
+
+Transforms are callables over ``(N, C, H, W)`` float arrays; ``Compose``
+chains them.  They cover the light augmentation / normalization used before
+training the convolutional benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.utils.rng import RngLike, new_rng
+
+Transform = Callable[[np.ndarray], np.ndarray]
+
+
+class Compose:
+    """Apply transforms in sequence."""
+
+    def __init__(self, transforms: Sequence[Transform]) -> None:
+        self.transforms = list(transforms)
+
+    def __call__(self, batch: np.ndarray) -> np.ndarray:
+        for transform in self.transforms:
+            batch = transform(batch)
+        return batch
+
+
+class Normalize:
+    """Standardize per channel: ``(x - mean) / std``."""
+
+    def __init__(self, mean: Sequence[float], std: Sequence[float]) -> None:
+        self.mean = np.asarray(mean, dtype=np.float32).reshape(1, -1, 1, 1)
+        self.std = np.asarray(std, dtype=np.float32).reshape(1, -1, 1, 1)
+        if np.any(self.std <= 0):
+            raise ValueError("std entries must be positive")
+
+    def __call__(self, batch: np.ndarray) -> np.ndarray:
+        if batch.ndim != 4 or batch.shape[1] != self.mean.shape[1]:
+            raise ValueError(
+                f"expected (N, {self.mean.shape[1]}, H, W) batch, got {batch.shape}"
+            )
+        return ((batch - self.mean) / self.std).astype(np.float32)
+
+
+class RandomHorizontalFlip:
+    """Flip each sample left-right with probability ``p``."""
+
+    def __init__(self, p: float = 0.5, rng: RngLike = None) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"p must lie in [0, 1], got {p}")
+        self.p = p
+        self.rng = new_rng(rng)
+
+    def __call__(self, batch: np.ndarray) -> np.ndarray:
+        if batch.ndim != 4:
+            raise ValueError(f"expected (N, C, H, W) batch, got {batch.shape}")
+        flip = self.rng.random(batch.shape[0]) < self.p
+        out = batch.copy()
+        out[flip] = out[flip, :, :, ::-1]
+        return out
+
+
+class RandomCropPad:
+    """Pad by ``padding`` pixels and randomly crop back to the original size."""
+
+    def __init__(self, padding: int = 2, rng: RngLike = None) -> None:
+        if padding < 0:
+            raise ValueError(f"padding must be non-negative, got {padding}")
+        self.padding = padding
+        self.rng = new_rng(rng)
+
+    def __call__(self, batch: np.ndarray) -> np.ndarray:
+        if self.padding == 0:
+            return batch
+        if batch.ndim != 4:
+            raise ValueError(f"expected (N, C, H, W) batch, got {batch.shape}")
+        pad = self.padding
+        batch_size, _, height, width = batch.shape
+        padded = np.pad(
+            batch, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant"
+        )
+        out = np.empty_like(batch)
+        offsets_r = self.rng.integers(0, 2 * pad + 1, size=batch_size)
+        offsets_c = self.rng.integers(0, 2 * pad + 1, size=batch_size)
+        for index in range(batch_size):
+            row, col = offsets_r[index], offsets_c[index]
+            out[index] = padded[index, :, row : row + height, col : col + width]
+        return out
+
+
+def flatten_images(batch: np.ndarray) -> np.ndarray:
+    """Flatten ``(N, C, H, W)`` into ``(N, C*H*W)`` for MLP models."""
+    return batch.reshape(batch.shape[0], -1)

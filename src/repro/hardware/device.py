@@ -1,0 +1,141 @@
+"""Device specification and calibrated cost constants for the Jetson Orin Nano.
+
+The paper measures training time, energy, and memory on an NVIDIA Jetson Orin
+Nano (Table III).  Without the physical board we model it analytically: the
+constants below are calibrated so that the *relative* behaviour reported in
+Table V (INT8 vs FP32 speedup well below the naive 4x because memory traffic
+and framework overhead dominate; FF-INT8 slightly faster and noticeably more
+memory-frugal than BP-GDAI8) is reproduced.  Absolute seconds/Joules are not
+claimed to match the testbed.
+
+Calibration notes
+-----------------
+* ``time_per_fp32_mac`` is derived from the board's practical FP32 throughput
+  (~1 TFLOP/s sustained for training workloads, far below the 20 TOPS INT8
+  peak), ``time_per_int8_mac`` from the paper's statement that INT8 arithmetic
+  is ~4x faster than FP32.
+* ``backward_mac_penalty`` reflects that backward-pass kernels are less
+  optimized than inference-oriented forward kernels (Section V-C).
+* The traffic term models LPDDR5 at 34 GB/s with ~55 % achievable efficiency.
+* Power levels sit inside the module's 7–10 W envelope; the effective average
+  power of a run lands in the 3.5–5 W range the paper's Joules/second imply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of the target edge device."""
+
+    name: str = "NVIDIA Jetson Orin Nano"
+    gpu: str = "512-core NVIDIA Ampere architecture GPU"
+    cpu: str = "6-core Arm Cortex-A78AE v8.2 64-bit"
+    memory_gb: float = 4.0
+    memory_bandwidth_gbps: float = 34.0
+    power_min_w: float = 7.0
+    power_max_w: float = 10.0
+    ai_performance_tops: float = 20.0
+    has_int8_engine: bool = True
+
+
+@dataclass(frozen=True)
+class CostConstants:
+    """Calibrated per-operation latency/energy constants.
+
+    Times are seconds per operation; energies are Joules per second of the
+    corresponding activity (i.e. power in Watts attributed to that activity).
+    """
+
+    # --- compute ------------------------------------------------------- #
+    time_per_fp32_mac: float = 1.6e-12  # ~0.6 TMAC/s sustained FP32
+    time_per_int8_mac: float = 0.4e-12  # 4x faster on the INT8 engine
+    backward_mac_penalty: float = 1.25
+    time_per_fp32_elementwise: float = 0.05e-9
+    time_per_quantize_element: float = 0.05e-9
+
+    # --- memory traffic ------------------------------------------------ #
+    effective_bandwidth_bytes_per_s: float = 18.7e9  # 34 GB/s * 55 % efficiency
+    activation_reload_factor: float = 2.0  # write after forward + read in backward
+
+    # --- per-layer kernel time ------------------------------------------- #
+    # Training with batch 32 at 28x28/32x32 resolution on an edge GPU is
+    # dominated by per-layer kernel time (launch latency, small-tensor
+    # inefficiency, autograd bookkeeping) rather than by raw MAC throughput —
+    # this is why Table V's INT8/FP32 speedups are ~1.45x rather than the 4x
+    # the MAC engine alone would give, and why the ratio is almost the same
+    # for the 0.6 GMAC MLP and the 555 GMAC ResNet-18.  The constants below
+    # are fitted to Table V's relative behaviour (see DESIGN.md §2):
+    #
+    # * a backward layer step costs ~2x a forward step (two GEMMs plus graph
+    #   traversal and gradient allocation),
+    # * INT8 kernels run the whole layer step ~1.6x faster than FP32 kernels
+    #   (compute and operand traffic both shrink),
+    # * a Forward-Forward weight-gradient-only step is far cheaper than a
+    #   full backward step: a single GEMM, no input-gradient kernel, no
+    #   graph traversal.
+    forward_layer_overhead_s: float = 2.5e-3     # per layer, per mini-batch (FP32)
+    backward_layer_overhead_s: float = 5.0e-3    # per layer, per mini-batch (FP32)
+    weight_grad_layer_overhead_s: float = 0.85e-3  # per layer, per mini-batch (FP32)
+    int8_kernel_efficiency: float = 0.62         # INT8 layer step vs FP32 layer step
+    epoch_overhead_s: float = 0.35
+    batch_overhead_s: float = 1.0e-3
+
+    # --- power (Watts) -------------------------------------------------- #
+    # Average module power observed in the paper's measurements sits in the
+    # 3.5-5 W band (energy / time of Table V); attribute the higher end to
+    # FP32-heavy phases and the lower end to INT8 phases.
+    power_fp32_compute_w: float = 6.5
+    power_int8_compute_w: float = 4.5
+    power_memory_w: float = 4.2
+    power_overhead_fp32_w: float = 5.0
+    power_overhead_int8_w: float = 3.7
+    power_idle_w: float = 2.2
+
+    # --- memory footprint ----------------------------------------------- #
+    framework_overhead_mb: float = 118.0
+    dataset_buffer_mb: float = 12.0
+    autograd_graph_overhead_mb: float = 34.0  # bookkeeping when a graph is stored
+    fp32_workspace_mb: float = 42.0           # cuDNN-style FP32 training workspace
+    int8_workspace_mb: float = 18.0           # leaner INT8 kernels workspace
+
+    bytes_fp32: int = 4
+    bytes_int8: int = 1
+
+
+JETSON_ORIN_NANO = DeviceSpec()
+DEFAULT_COSTS = CostConstants()
+
+
+@dataclass
+class HardwareModel:
+    """Bundles a device spec with its calibrated cost constants."""
+
+    spec: DeviceSpec = field(default_factory=lambda: JETSON_ORIN_NANO)
+    costs: CostConstants = field(default_factory=lambda: DEFAULT_COSTS)
+
+    def mac_time(self, precision: str, backward: bool = False) -> float:
+        """Seconds for a single MAC at the given precision/phase."""
+        if precision == "fp32":
+            base = self.costs.time_per_fp32_mac
+        elif precision == "int8":
+            base = self.costs.time_per_int8_mac
+        else:
+            raise ValueError(f"unknown precision {precision!r}")
+        if backward:
+            base *= self.costs.backward_mac_penalty
+        return base
+
+    def mac_power(self, precision: str) -> float:
+        """Watts attributed to MAC-bound execution at the given precision."""
+        if precision == "fp32":
+            return self.costs.power_fp32_compute_w
+        if precision == "int8":
+            return self.costs.power_int8_compute_w
+        raise ValueError(f"unknown precision {precision!r}")
+
+    def traffic_time(self, num_bytes: float) -> float:
+        """Seconds to move ``num_bytes`` through DRAM."""
+        return num_bytes / self.costs.effective_bandwidth_bytes_per_s

@@ -1,0 +1,205 @@
+"""Table V style summary rows: accuracy, time, energy, memory per algorithm.
+
+The estimator combines
+
+* the analytical hardware cost model (time / energy / memory at paper scale),
+* the paper's reported accuracies (always included for reference), and
+* optionally, measured accuracies from actually training the mini-scale
+  variants with this repository's trainers,
+
+into one row per (model, algorithm) pair, plus the relative-difference
+summary lines the paper prints at the bottom of Table V.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.hardware.cost_model import TrainingCostEstimate, TrainingCostModel
+from repro.hardware.op_counter import ModelProfile, profile_bundle
+from repro.models.registry import PAPER_BENCHMARKS, build_model
+from repro.training.algorithms import ALL_ALGORITHMS, BP_FP32, BP_GDAI8, FF_INT8
+
+# Accuracies reported in Table V of the paper (percent).
+PAPER_TABLE5_ACCURACY = {
+    "MLP": {
+        "BP-FP32": 94.5, "BP-INT8": 52.4, "BP-UI8": 92.3,
+        "BP-GDAI8": 93.8, "FF-INT8": 94.3,
+    },
+    "MobileNet-v2": {
+        "BP-FP32": 91.5, "BP-INT8": 5.9, "BP-UI8": 87.2,
+        "BP-GDAI8": 90.9, "FF-INT8": 91.1,
+    },
+    "EfficientNet-B0": {
+        "BP-FP32": 89.4, "BP-INT8": 11.8, "BP-UI8": 85.3,
+        "BP-GDAI8": 88.9, "FF-INT8": 88.6,
+    },
+    "ResNet-18": {
+        "BP-FP32": 93.5, "BP-INT8": 7.2, "BP-UI8": 89.7,
+        "BP-GDAI8": 92.9, "FF-INT8": 93.1,
+    },
+}
+
+# Time / energy / memory reported in Table V (seconds, Joules, MB).
+PAPER_TABLE5_COST = {
+    "MLP": {
+        "BP-FP32": (482.3, 2315.0, 247.6),
+        "BP-INT8": (326.1, 1206.6, 213.9),
+        "BP-UI8": (335.2, 1277.1, 197.0),
+        "BP-GDAI8": (344.9, 1345.4, 182.6),
+        "FF-INT8": (312.7, 1097.0, 140.7),
+    },
+    "MobileNet-v2": {
+        "BP-FP32": (2370.8, 11593.2, 649.8),
+        "BP-INT8": (1851.6, 7836.0, 571.6),
+        "BP-UI8": (1960.0, 7618.5, 592.6),
+        "BP-GDAI8": (1790.7, 6528.1, 578.9),
+        "FF-INT8": (1703.9, 6174.3, 437.0),
+    },
+    "EfficientNet-B0": {
+        "BP-FP32": (2692.8, 13356.2, 861.0),
+        "BP-INT8": (2095.0, 8563.9, 703.9),
+        "BP-UI8": (2230.8, 8656.2, 735.5),
+        "BP-GDAI8": (2177.1, 8589.9, 692.0),
+        "FF-INT8": (2129.9, 8093.8, 505.2),
+    },
+    "ResNet-18": {
+        "BP-FP32": (3853.0, 18764.1, 1096.4),
+        "BP-INT8": (2676.1, 10436.8, 885.8),
+        "BP-UI8": (2873.8, 11466.5, 920.7),
+        "BP-GDAI8": (2751.6, 10291.0, 894.1),
+        "FF-INT8": (2697.9, 9926.5, 682.3),
+    },
+}
+
+
+@dataclass
+class SummaryRow:
+    """One (model, algorithm) row of the Table V style summary."""
+
+    model: str
+    algorithm: str
+    paper_accuracy: float
+    estimate: TrainingCostEstimate
+    measured_accuracy: Optional[float] = None
+    paper_time_s: Optional[float] = None
+    paper_energy_j: Optional[float] = None
+    paper_memory_mb: Optional[float] = None
+
+    def as_dict(self) -> dict:
+        """JSON-serializable row."""
+        return {
+            "model": self.model,
+            "algorithm": self.algorithm,
+            "paper_accuracy": self.paper_accuracy,
+            "measured_accuracy": self.measured_accuracy,
+            "time_s": self.estimate.time_s,
+            "energy_j": self.estimate.energy_j,
+            "memory_mb": self.estimate.memory_mb,
+            "paper_time_s": self.paper_time_s,
+            "paper_energy_j": self.paper_energy_j,
+            "paper_memory_mb": self.paper_memory_mb,
+        }
+
+
+@dataclass
+class Table5Summary:
+    """All rows plus the relative-savings aggregates of Table V."""
+
+    rows: List[SummaryRow] = field(default_factory=list)
+
+    def rows_for_model(self, model: str) -> List[SummaryRow]:
+        """Rows of one benchmark model."""
+        return [row for row in self.rows if row.model == model]
+
+    def relative_savings(
+        self, reference: str, target: str = FF_INT8
+    ) -> Dict[str, float]:
+        """Average relative savings of ``target`` vs ``reference``.
+
+        Returns average percentage reductions for time, energy and memory —
+        the two summary lines at the bottom of Table V use
+        ``reference=BP-FP32`` and ``reference=BP-GDAI8``.
+        """
+        time_savings, energy_savings, memory_savings = [], [], []
+        for model in {row.model for row in self.rows}:
+            by_algorithm = {row.algorithm: row for row in self.rows_for_model(model)}
+            if reference not in by_algorithm or target not in by_algorithm:
+                continue
+            ref = by_algorithm[reference].estimate
+            tgt = by_algorithm[target].estimate
+            time_savings.append(1.0 - tgt.time_s / ref.time_s)
+            energy_savings.append(1.0 - tgt.energy_j / ref.energy_j)
+            memory_savings.append(1.0 - tgt.memory_mb / ref.memory_mb)
+        if not time_savings:
+            return {"time": 0.0, "energy": 0.0, "memory": 0.0}
+        count = len(time_savings)
+        return {
+            "time": 100.0 * sum(time_savings) / count,
+            "energy": 100.0 * sum(energy_savings) / count,
+            "memory": 100.0 * sum(memory_savings) / count,
+        }
+
+
+# Epoch budgets assumed when translating per-epoch cost into run totals.
+# FF-INT8 converges in more epochs (Figure 6) but each epoch is cheaper.
+TABLE5_EPOCHS = {
+    BP_FP32: 30,
+    "BP-INT8": 30,
+    "BP-UI8": 30,
+    BP_GDAI8: 30,
+    FF_INT8: 36,
+}
+
+TABLE5_DATASET_SIZE = {"mnist": 60000, "cifar10": 50000}
+
+
+def build_table5_summary(
+    algorithms: Optional[List[str]] = None,
+    models: Optional[List[str]] = None,
+    measured_accuracy: Optional[Dict[str, Dict[str, float]]] = None,
+    cost_model: Optional[TrainingCostModel] = None,
+    batch_size: int = 32,
+) -> Table5Summary:
+    """Build the full Table V style summary from the analytical cost model.
+
+    ``measured_accuracy`` maps model row name → algorithm → accuracy in
+    percent (from actually training the mini variants); if omitted, only the
+    paper accuracies are attached.
+    """
+    algorithms = list(algorithms) if algorithms else list(ALL_ALGORITHMS)
+    models = list(models) if models else list(PAPER_BENCHMARKS)
+    cost_model = cost_model or TrainingCostModel()
+    measured_accuracy = measured_accuracy or {}
+
+    summary = Table5Summary()
+    for model_row in models:
+        benchmark = PAPER_BENCHMARKS[model_row]
+        bundle = build_model(benchmark["full"])
+        profile: ModelProfile = profile_bundle(bundle, batch_size=1)
+        dataset_size = TABLE5_DATASET_SIZE[benchmark["dataset"]]
+        for algorithm in algorithms:
+            estimate = cost_model.estimate(
+                profile,
+                algorithm,
+                epochs=TABLE5_EPOCHS.get(algorithm),
+                dataset_size=dataset_size,
+                batch_size=batch_size,
+            )
+            paper_cost = PAPER_TABLE5_COST.get(model_row, {}).get(algorithm)
+            summary.rows.append(
+                SummaryRow(
+                    model=model_row,
+                    algorithm=algorithm,
+                    paper_accuracy=PAPER_TABLE5_ACCURACY[model_row][algorithm],
+                    estimate=estimate,
+                    measured_accuracy=measured_accuracy.get(model_row, {}).get(
+                        algorithm
+                    ),
+                    paper_time_s=paper_cost[0] if paper_cost else None,
+                    paper_energy_j=paper_cost[1] if paper_cost else None,
+                    paper_memory_mb=paper_cost[2] if paper_cost else None,
+                )
+            )
+    return summary

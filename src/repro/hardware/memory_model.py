@@ -1,0 +1,134 @@
+"""Training-time memory-footprint model (Table V's "Memory" column).
+
+The footprint of a training run is decomposed into
+
+* resident **weights** (FP32 master copy, plus an INT8 shadow copy when the
+  forward runs on the INT8 engine),
+* **gradient** buffers,
+* **optimizer state** (momentum),
+* **stored activations** — the per-batch "computational graph" that
+  backpropagation must keep alive between the forward and backward passes;
+  the Forward-Forward algorithm only keeps the layer currently being trained,
+  which is the paper's main source of memory savings (Section V-D),
+* a constant **framework/workspace overhead** and the host-side dataset
+  buffer.
+
+Activation elements are taken from :class:`~repro.hardware.op_counter.ModelProfile`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.device import CostConstants, DEFAULT_COSTS
+from repro.hardware.op_counter import ModelProfile
+
+MB = 1024.0 * 1024.0
+
+
+@dataclass
+class MemoryBreakdown:
+    """Per-component footprint of one training configuration, in MB."""
+
+    weights_mb: float
+    gradients_mb: float
+    optimizer_mb: float
+    activations_mb: float
+    overhead_mb: float
+
+    @property
+    def total_mb(self) -> float:
+        """Total resident footprint in MB."""
+        return (
+            self.weights_mb
+            + self.gradients_mb
+            + self.optimizer_mb
+            + self.activations_mb
+            + self.overhead_mb
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-serializable breakdown."""
+        return {
+            "weights_mb": self.weights_mb,
+            "gradients_mb": self.gradients_mb,
+            "optimizer_mb": self.optimizer_mb,
+            "activations_mb": self.activations_mb,
+            "overhead_mb": self.overhead_mb,
+            "total_mb": self.total_mb,
+        }
+
+
+def estimate_memory(
+    profile: ModelProfile,
+    batch_size: int,
+    stores_graph: bool,
+    mac_precision: str,
+    lookahead: bool = False,
+    optimizer_state_per_param: int = 1,
+    costs: CostConstants = DEFAULT_COSTS,
+) -> MemoryBreakdown:
+    """Estimate the training memory footprint of one (model, algorithm) pair.
+
+    Parameters
+    ----------
+    stores_graph:
+        True for backpropagation (all layer activations of the current batch
+        stay resident for the backward pass), False for Forward-Forward.
+    mac_precision:
+        ``"int8"`` adds an INT8 shadow copy of the weights and lets the stored
+        activations be kept at 1 byte/element; ``"fp32"`` keeps everything at
+        4 bytes.
+    lookahead:
+        FF with look-ahead keeps every layer's weights resident during the
+        shared forward pass (paper Section IV-C) and buffers per-layer
+        goodness, a modest increase over greedy FF but far below BP.
+    optimizer_state_per_param:
+        Number of extra FP32 values per parameter kept by the optimizer
+        (1 for SGD momentum, 2 for Adam).
+    """
+    params = profile.total_parameters
+    act_elements = profile.total_activation_elements * batch_size
+    bytes_fp32 = costs.bytes_fp32
+    bytes_int8 = costs.bytes_int8
+    activation_bytes_per_element = (
+        bytes_int8 if mac_precision == "int8" else bytes_fp32
+    )
+
+    weights_mb = params * bytes_fp32 / MB
+    if mac_precision == "int8":
+        weights_mb += params * bytes_int8 / MB
+
+    gradients_mb = params * bytes_fp32 / MB
+    optimizer_mb = params * bytes_fp32 * optimizer_state_per_param / MB
+
+    if stores_graph:
+        activations_mb = act_elements * activation_bytes_per_element / MB
+    else:
+        # FF keeps only the activations of the layer currently being updated.
+        per_layer = [layer.output_elements for layer in profile.layers] or [
+            profile.total_activation_elements
+        ]
+        largest_layer = max(per_layer) * batch_size
+        activations_mb = largest_layer * activation_bytes_per_element / MB
+        if lookahead:
+            # Shared forward pass: goodness scalars for every layer plus a
+            # second resident layer buffer while the sweep runs.
+            activations_mb *= 2.0
+            activations_mb += len(profile.layers) * batch_size * bytes_fp32 / MB
+
+    overhead_mb = costs.framework_overhead_mb + costs.dataset_buffer_mb
+    overhead_mb += (
+        costs.fp32_workspace_mb
+        if mac_precision == "fp32"
+        else costs.int8_workspace_mb
+    )
+    if stores_graph:
+        overhead_mb += costs.autograd_graph_overhead_mb
+    return MemoryBreakdown(
+        weights_mb=weights_mb,
+        gradients_mb=gradients_mb,
+        optimizer_mb=optimizer_mb,
+        activations_mb=activations_mb,
+        overhead_mb=overhead_mb,
+    )

@@ -1,0 +1,169 @@
+"""Model profiling: per-layer MAC counts, parameter counts, activation sizes.
+
+The profiler runs one real forward pass through a model with every
+compute-heavy layer temporarily wrapped, recording the number of
+multiply-accumulate operations and the size of every layer output.  These
+per-sample quantities feed the training cost model (Table IV / Table V) and
+the memory model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.models.base import ModelBundle
+from repro.nn.conv import Conv2d, DepthwiseConv2d
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+
+
+@dataclass
+class LayerProfile:
+    """Per-layer profiling record (all values per input sample)."""
+
+    name: str
+    kind: str
+    macs: float
+    parameters: int
+    output_elements: float
+
+
+@dataclass
+class ModelProfile:
+    """Aggregated profile of one architecture."""
+
+    model_name: str
+    input_shape: tuple
+    layers: List[LayerProfile] = field(default_factory=list)
+    total_parameters: int = 0
+    total_activation_elements: float = 0.0
+
+    @property
+    def forward_macs(self) -> float:
+        """MACs of one forward pass for one sample."""
+        return float(sum(layer.macs for layer in self.layers))
+
+    @property
+    def weight_grad_macs(self) -> float:
+        """MACs to compute all weight gradients for one sample.
+
+        For GEMM-lowered layers the weight-gradient GEMM has the same MAC
+        count as the forward GEMM.
+        """
+        return self.forward_macs
+
+    @property
+    def input_grad_macs(self) -> float:
+        """MACs to back-propagate activation gradients for one sample."""
+        return self.forward_macs
+
+    def as_dict(self) -> dict:
+        """JSON-serializable summary."""
+        return {
+            "model": self.model_name,
+            "input_shape": list(self.input_shape),
+            "forward_macs": self.forward_macs,
+            "total_parameters": self.total_parameters,
+            "total_activation_elements": self.total_activation_elements,
+            "num_profiled_layers": len(self.layers),
+        }
+
+
+def _layer_macs(module: Module, inputs: np.ndarray, outputs: np.ndarray) -> float:
+    """MAC count of one call to a compute-heavy layer."""
+    if isinstance(module, Linear):
+        rows = int(np.prod(inputs.shape[:-1]))
+        return float(rows * module.in_features * module.out_features)
+    if isinstance(module, DepthwiseConv2d):
+        out_positions = int(outputs.shape[0] * outputs.shape[2] * outputs.shape[3])
+        kernel_area = module.kernel_size[0] * module.kernel_size[1]
+        return float(out_positions * module.channels * kernel_area)
+    if isinstance(module, Conv2d):
+        out_positions = int(outputs.shape[0] * outputs.shape[2] * outputs.shape[3])
+        kernel_area = module.kernel_size[0] * module.kernel_size[1]
+        return float(
+            out_positions * module.out_channels * module.in_channels * kernel_area
+        )
+    return 0.0
+
+
+class _ForwardRecorder:
+    """Context manager that wraps leaf forwards to record MACs/activations."""
+
+    def __init__(self, model: Module) -> None:
+        self.model = model
+        self.records: List[LayerProfile] = []
+        self.activation_elements = 0.0
+        self._originals: Dict[int, tuple] = {}
+
+    def __enter__(self) -> "_ForwardRecorder":
+        for index, module in enumerate(self.model.modules()):
+            if module is self.model:
+                continue
+            if module._modules:
+                continue  # only wrap leaves
+            original = module.forward
+            self._originals[id(module)] = (module, original)
+            module.forward = self._wrap(module, original, index)  # type: ignore[assignment]
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        for module, original in self._originals.values():
+            module.forward = original  # type: ignore[assignment]
+        self._originals.clear()
+
+    def _wrap(self, module: Module, original, index: int):
+        def wrapped(x: np.ndarray) -> np.ndarray:
+            out = original(x)
+            if isinstance(out, np.ndarray):
+                self.activation_elements += float(out.size)
+                macs = _layer_macs(module, x, out)
+                if macs > 0:
+                    self.records.append(
+                        LayerProfile(
+                            name=f"{type(module).__name__}_{index}",
+                            kind=type(module).__name__,
+                            macs=macs,
+                            parameters=module.num_parameters(),
+                            output_elements=float(out.size),
+                        )
+                    )
+            return out
+
+        return wrapped
+
+
+def profile_bundle(bundle: ModelBundle, batch_size: int = 2) -> ModelProfile:
+    """Profile one sample's forward compute/activation footprint of ``bundle``."""
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    model = bundle.bp_model()
+    model.eval()
+    model.set_activation_caching(False)
+    sample = np.zeros((batch_size, *bundle.input_shape), dtype=np.float32)
+    inputs = sample.reshape(batch_size, -1) if bundle.flatten_input else sample
+
+    with _ForwardRecorder(model) as recorder:
+        model(inputs)
+
+    scale = 1.0 / batch_size
+    layers = [
+        LayerProfile(
+            name=record.name,
+            kind=record.kind,
+            macs=record.macs * scale,
+            parameters=record.parameters,
+            output_elements=record.output_elements * scale,
+        )
+        for record in recorder.records
+    ]
+    return ModelProfile(
+        model_name=bundle.name,
+        input_shape=bundle.input_shape,
+        layers=layers,
+        total_parameters=model.num_parameters(),
+        total_activation_elements=recorder.activation_elements * scale,
+    )

@@ -1,0 +1,167 @@
+"""Parameter sweeps over the hardware cost model.
+
+The paper evaluates one operating point (batch 32, the board's default power
+mode).  Edge deployments usually need to know how the FF-INT8 advantage moves
+with the knobs they actually control, so this module provides structured
+sweeps over batch size and epoch budget, reusing the calibrated
+:class:`TrainingCostModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.hardware.cost_model import TrainingCostEstimate, TrainingCostModel
+from repro.hardware.op_counter import ModelProfile
+
+
+@dataclass
+class SweepPoint:
+    """One (parameter value, algorithm) cell of a sweep."""
+
+    value: float
+    algorithm: str
+    estimate: TrainingCostEstimate
+
+    def as_dict(self) -> dict:
+        """JSON-serializable cell."""
+        return {
+            "value": self.value,
+            "algorithm": self.algorithm,
+            "time_s": self.estimate.time_s,
+            "energy_j": self.estimate.energy_j,
+            "memory_mb": self.estimate.memory_mb,
+        }
+
+
+@dataclass
+class SweepResult:
+    """All cells of one sweep plus convenience accessors."""
+
+    parameter: str
+    model_name: str
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def values(self) -> List[float]:
+        """Distinct swept parameter values, in order of first appearance."""
+        seen: List[float] = []
+        for point in self.points:
+            if point.value not in seen:
+                seen.append(point.value)
+        return seen
+
+    def series(self, algorithm: str, metric: str = "time_s") -> List[float]:
+        """Metric series for one algorithm across the swept values."""
+        if metric not in ("time_s", "energy_j", "memory_mb"):
+            raise ValueError(f"unknown metric {metric!r}")
+        series = []
+        for value in self.values():
+            for point in self.points:
+                if point.value == value and point.algorithm == algorithm:
+                    series.append(getattr(point.estimate, metric))
+                    break
+        return series
+
+    def savings(
+        self, target: str, reference: str, metric: str = "time_s"
+    ) -> Dict[float, float]:
+        """Relative saving of ``target`` vs ``reference`` per swept value."""
+        target_series = self.series(target, metric)
+        reference_series = self.series(reference, metric)
+        return {
+            value: 100.0 * (1.0 - tgt / ref)
+            for value, tgt, ref in zip(self.values(), target_series,
+                                       reference_series)
+            if ref > 0
+        }
+
+    def as_dict(self) -> dict:
+        """JSON-serializable sweep."""
+        return {
+            "parameter": self.parameter,
+            "model": self.model_name,
+            "points": [point.as_dict() for point in self.points],
+        }
+
+
+def sweep_batch_size(
+    profile: ModelProfile,
+    batch_sizes: Sequence[int] = (8, 16, 32, 64, 128),
+    algorithms: Sequence[str] = ("BP-FP32", "BP-GDAI8", "FF-INT8"),
+    epochs: Optional[Dict[str, int]] = None,
+    dataset_size: int = 50000,
+    cost_model: Optional[TrainingCostModel] = None,
+) -> SweepResult:
+    """Estimate every algorithm at several batch sizes.
+
+    Larger batches amortize per-batch kernel overheads but grow the stored
+    activation graph for backpropagation — FF's memory advantage therefore
+    widens with batch size.
+    """
+    cost_model = cost_model or TrainingCostModel()
+    epochs = epochs or {}
+    result = SweepResult(parameter="batch_size", model_name=profile.model_name)
+    for batch_size in batch_sizes:
+        if batch_size <= 0:
+            raise ValueError(f"batch sizes must be positive, got {batch_size}")
+        for algorithm in algorithms:
+            estimate = cost_model.estimate(
+                profile, algorithm, epochs=epochs.get(algorithm),
+                dataset_size=dataset_size, batch_size=batch_size,
+            )
+            result.points.append(
+                SweepPoint(value=float(batch_size), algorithm=algorithm,
+                           estimate=estimate)
+            )
+    return result
+
+
+def sweep_epochs(
+    profile: ModelProfile,
+    ff_epoch_grid: Sequence[int] = (10, 20, 30, 40, 60),
+    bp_epochs: int = 30,
+    reference: str = "BP-GDAI8",
+    dataset_size: int = 50000,
+    batch_size: int = 32,
+    cost_model: Optional[TrainingCostModel] = None,
+) -> SweepResult:
+    """How many extra FF-INT8 epochs fit inside the reference's budget.
+
+    The paper's efficiency argument is that FF-INT8's cheaper epochs buy the
+    extra epochs it needs to converge; this sweep exposes the break-even
+    point explicitly.
+    """
+    cost_model = cost_model or TrainingCostModel()
+    result = SweepResult(parameter="ff_epochs", model_name=profile.model_name)
+    reference_estimate = cost_model.estimate(
+        profile, reference, epochs=bp_epochs, dataset_size=dataset_size,
+        batch_size=batch_size,
+    )
+    for ff_epochs in ff_epoch_grid:
+        if ff_epochs <= 0:
+            raise ValueError(f"epoch counts must be positive, got {ff_epochs}")
+        estimate = cost_model.estimate(
+            profile, "FF-INT8", epochs=ff_epochs, dataset_size=dataset_size,
+            batch_size=batch_size,
+        )
+        result.points.append(
+            SweepPoint(value=float(ff_epochs), algorithm="FF-INT8",
+                       estimate=estimate)
+        )
+        result.points.append(
+            SweepPoint(value=float(ff_epochs), algorithm=reference,
+                       estimate=reference_estimate)
+        )
+    return result
+
+
+def breakeven_ff_epochs(sweep: SweepResult, reference: str = "BP-GDAI8") -> Optional[float]:
+    """Largest FF epoch count whose total time stays below the reference's."""
+    breakeven = None
+    for value in sweep.values():
+        ff_time = sweep.series("FF-INT8", "time_s")[sweep.values().index(value)]
+        ref_time = sweep.series(reference, "time_s")[sweep.values().index(value)]
+        if ff_time <= ref_time:
+            breakeven = value
+    return breakeven

@@ -1,0 +1,34 @@
+"""Benchmark architectures from Table II of the paper.
+
+Every architecture is exposed as a :class:`~repro.models.base.ModelBundle`
+providing both the end-to-end view (for backpropagation baselines) and the
+block-decomposed view (for Forward-Forward training).
+"""
+
+from repro.models.base import ModelBundle, scaled_width
+from repro.models.efficientnet import EFFICIENTNET_B0_CONFIG, build_efficientnet_b0
+from repro.models.mlp import build_mlp
+from repro.models.mobilenet_v2 import MOBILENET_V2_CONFIG, build_mobilenet_v2
+from repro.models.registry import (
+    PAPER_BENCHMARKS,
+    available_models,
+    build_model,
+    register_model,
+)
+from repro.models.resnet import basic_block, build_resnet18
+
+__all__ = [
+    "ModelBundle",
+    "scaled_width",
+    "build_mlp",
+    "build_resnet18",
+    "basic_block",
+    "build_mobilenet_v2",
+    "MOBILENET_V2_CONFIG",
+    "build_efficientnet_b0",
+    "EFFICIENTNET_B0_CONFIG",
+    "build_model",
+    "register_model",
+    "available_models",
+    "PAPER_BENCHMARKS",
+]

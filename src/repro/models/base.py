@@ -1,0 +1,107 @@
+"""Model bundle: one architecture, two training views.
+
+Every benchmark architecture is exposed as a :class:`ModelBundle` holding
+
+* an ordered list of **backbone blocks** — the units the Forward-Forward
+  algorithm trains greedily (each block's output activity feeds the goodness
+  function), and
+* a **head** — the final classifier (pooling + linear) that backpropagation
+  trains end-to-end and that FF replaces with goodness-based label probing.
+
+``bp_model()`` assembles the conventional end-to-end network for the
+backpropagation baselines; ``ff_units()`` assembles the per-block view with
+the inter-layer L2 normalization that FF requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.nn.containers import Sequential
+from repro.nn.module import Module
+from repro.nn.norm import FFLayerNorm
+
+
+@dataclass
+class ModelBundle:
+    """An architecture packaged for both BP and FF training."""
+
+    name: str
+    backbone_blocks: List[Module]
+    head: Module
+    input_shape: Tuple[int, ...]
+    num_classes: int
+    flatten_input: bool = False
+    paper_params_millions: Optional[float] = None
+    description: str = ""
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.backbone_blocks:
+            raise ValueError("a model bundle needs at least one backbone block")
+
+    # ------------------------------------------------------------------ #
+    def bp_model(self) -> Sequential:
+        """End-to-end network (backbone blocks followed by the head)."""
+        model = Sequential()
+        for index, block in enumerate(self.backbone_blocks):
+            model.append(block, name=f"block{index}")
+        model.append(self.head, name="head")
+        return model
+
+    def ff_units(
+        self, normalize_between: bool = True, normalize_input: bool = True
+    ) -> List[Module]:
+        """Backbone blocks wrapped for Forward-Forward training.
+
+        Each unit is preceded by an :class:`FFLayerNorm`: for hidden units
+        this prevents a layer's goodness from being inferred from the raw
+        magnitude of the previous layer's activity (Hinton 2022, Section 2);
+        for the first unit it normalizes the overlaid input so that the
+        initial goodness starts below the threshold θ instead of orders of
+        magnitude above it, which keeps the early negative-pass pressure from
+        collapsing the layer into dead ReLUs.
+        """
+        units: List[Module] = []
+        for index, block in enumerate(self.backbone_blocks):
+            wrap = normalize_between if index > 0 else normalize_input
+            if wrap:
+                units.append(Sequential(FFLayerNorm(), block))
+            else:
+                units.append(block)
+        return units
+
+    # ------------------------------------------------------------------ #
+    def num_parameters(self) -> int:
+        """Total trainable parameters across backbone and head."""
+        return self.bp_model().num_parameters()
+
+    def block_parameters(self) -> List[int]:
+        """Per-block parameter counts (used by the memory model)."""
+        return [block.num_parameters() for block in self.backbone_blocks]
+
+    def summary(self) -> dict:
+        """Human-readable summary used by reports and tests."""
+        return {
+            "name": self.name,
+            "input_shape": self.input_shape,
+            "num_classes": self.num_classes,
+            "num_blocks": len(self.backbone_blocks),
+            "parameters": self.num_parameters(),
+            "paper_params_millions": self.paper_params_millions,
+        }
+
+
+def scaled_width(base: int, multiplier: float, divisor: int = 8, floor: int = 4) -> int:
+    """Scale a channel count by ``multiplier`` and round to a friendly value.
+
+    Mirrors the "make divisible" rule used by MobileNet/EfficientNet so that
+    reduced-scale benchmark variants keep hardware-friendly channel counts.
+    """
+    value = int(base * multiplier)
+    if multiplier >= 1.0:
+        rounded = max(divisor, (value + divisor // 2) // divisor * divisor)
+    else:
+        rounded = max(floor, value)
+    return rounded

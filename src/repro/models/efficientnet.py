@@ -1,0 +1,145 @@
+"""EfficientNet-B0 built from MBConv blocks with squeeze-and-excitation.
+
+Follows Tan & Le (2019) with CIFAR-resolution strides; Table II of the paper
+lists 3.39 M parameters for the 10-class variant, which this construction
+approximates at width multiplier 1.0.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.models.base import ModelBundle, scaled_width
+from repro.nn.activations import Sigmoid, SiLU
+from repro.nn.containers import ResidualAdd, Sequential, SqueezeExcite
+from repro.nn.conv import Conv2d, DepthwiseConv2d
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+from repro.nn.norm import BatchNorm2d
+from repro.nn.pooling import GlobalAvgPool2d
+from repro.utils.rng import RngLike, new_rng
+
+# (expansion, output_channels, repeats, first_stride, kernel_size) per stage.
+EFFICIENTNET_B0_CONFIG: Tuple[Tuple[int, int, int, int, int], ...] = (
+    (1, 16, 1, 1, 3),
+    (6, 24, 2, 1, 3),
+    (6, 40, 2, 2, 5),
+    (6, 80, 3, 2, 3),
+    (6, 112, 3, 1, 5),
+    (6, 192, 4, 2, 5),
+    (6, 320, 1, 1, 3),
+)
+
+
+def _conv_bn_silu(
+    in_channels: int, out_channels: int, kernel: int, stride: int, padding: int, rng
+) -> Sequential:
+    """Conv → BN → SiLU."""
+    return Sequential(
+        Conv2d(
+            in_channels,
+            out_channels,
+            kernel,
+            stride=stride,
+            padding=padding,
+            bias=False,
+            rng=rng,
+        ),
+        BatchNorm2d(out_channels),
+        SiLU(),
+    )
+
+
+def _squeeze_excite(channels: int, reduced: int, rng) -> SqueezeExcite:
+    """Squeeze-and-excitation gate with the standard reduce/expand MLP."""
+    gate = Sequential(
+        Linear(channels, reduced, rng=rng),
+        SiLU(),
+        Linear(reduced, channels, rng=rng),
+        Sigmoid(),
+    )
+    return SqueezeExcite(gate)
+
+
+def mbconv(
+    in_channels: int,
+    out_channels: int,
+    stride: int,
+    expansion: int,
+    kernel: int,
+    se_ratio: float,
+    rng,
+) -> Module:
+    """EfficientNet MBConv block: expand → depthwise → SE → project."""
+    hidden = in_channels * expansion
+    padding = kernel // 2
+    layers = Sequential()
+    if expansion != 1:
+        layers.append(_conv_bn_silu(in_channels, hidden, 1, 1, 0, rng))
+    layers.append(
+        Sequential(
+            DepthwiseConv2d(
+                hidden, kernel, stride=stride, padding=padding, bias=False, rng=rng
+            ),
+            BatchNorm2d(hidden),
+            SiLU(),
+        )
+    )
+    reduced = max(1, int(in_channels * se_ratio))
+    layers.append(_squeeze_excite(hidden, reduced, rng))
+    layers.append(
+        Sequential(
+            Conv2d(hidden, out_channels, 1, stride=1, padding=0, bias=False, rng=rng),
+            BatchNorm2d(out_channels),
+        )
+    )
+    if stride == 1 and in_channels == out_channels:
+        return ResidualAdd(layers)
+    return layers
+
+
+def build_efficientnet_b0(
+    input_shape: tuple[int, ...] = (3, 32, 32),
+    num_classes: int = 10,
+    width_multiplier: float = 1.0,
+    config: Sequence[Tuple[int, int, int, int, int]] = EFFICIENTNET_B0_CONFIG,
+    last_channels: int = 1280,
+    se_ratio: float = 0.25,
+    seed: RngLike = 0,
+) -> ModelBundle:
+    """Build an EfficientNet-B0 bundle (optionally width-scaled)."""
+    rng = new_rng(seed)
+    stem_channels = scaled_width(32, width_multiplier)
+    last = scaled_width(last_channels, max(width_multiplier, 1.0))
+
+    blocks: List[Module] = []
+    blocks.append(_conv_bn_silu(input_shape[0], stem_channels, 3, 1, 1, rng))
+
+    in_channels = stem_channels
+    for expansion, channels, repeats, first_stride, kernel in config:
+        out_channels = scaled_width(channels, width_multiplier)
+        for repeat in range(repeats):
+            stride = first_stride if repeat == 0 else 1
+            blocks.append(
+                mbconv(
+                    in_channels, out_channels, stride, expansion, kernel, se_ratio, rng
+                )
+            )
+            in_channels = out_channels
+
+    blocks.append(_conv_bn_silu(in_channels, last, 1, 1, 0, rng))
+    head = Sequential(GlobalAvgPool2d(), Linear(last, num_classes, rng=rng))
+
+    suffix = "" if width_multiplier == 1.0 and config is EFFICIENTNET_B0_CONFIG else (
+        f"-w{width_multiplier}"
+    )
+    return ModelBundle(
+        name=f"efficientnet_b0{suffix}",
+        backbone_blocks=blocks,
+        head=head,
+        input_shape=tuple(input_shape),
+        num_classes=num_classes,
+        paper_params_millions=3.39,
+        description="EfficientNet-B0 with MBConv + squeeze-and-excitation blocks",
+        metadata={"width_multiplier": width_multiplier, "se_ratio": se_ratio},
+    )

@@ -1,0 +1,128 @@
+"""Model registry mapping paper benchmark names to factory functions.
+
+Two tiers are registered for every architecture:
+
+* the **paper-scale** configuration (full width/depth) used by the hardware
+  cost model to report parameter counts comparable to Table II, and
+* a **mini** configuration, small enough to train end-to-end in pure NumPy,
+  used by the runnable tests/benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.models.base import ModelBundle
+from repro.models.efficientnet import EFFICIENTNET_B0_CONFIG, build_efficientnet_b0
+from repro.models.mlp import build_mlp
+from repro.models.mobilenet_v2 import MOBILENET_V2_CONFIG, build_mobilenet_v2
+from repro.models.resnet import build_resnet18
+
+ModelFactory = Callable[..., ModelBundle]
+
+_REGISTRY: Dict[str, ModelFactory] = {}
+
+# Reduced stage configurations used by the "mini" convolutional variants: same
+# block types and stride pattern, fewer repeats and narrower channels.
+MOBILENET_V2_MINI_CONFIG = (
+    (1, 8, 1, 1),
+    (4, 12, 1, 2),
+    (4, 16, 1, 2),
+    (4, 24, 1, 2),
+)
+EFFICIENTNET_B0_MINI_CONFIG = (
+    (1, 8, 1, 1, 3),
+    (4, 12, 1, 2, 3),
+    (4, 16, 1, 2, 5),
+    (4, 24, 1, 2, 3),
+)
+
+
+def register_model(name: str, factory: ModelFactory) -> None:
+    """Add a factory to the registry (name must be unique)."""
+    if name in _REGISTRY:
+        raise ValueError(f"model {name!r} is already registered")
+    _REGISTRY[name] = factory
+
+
+def available_models() -> List[str]:
+    """Sorted list of registered model names."""
+    return sorted(_REGISTRY)
+
+
+def build_model(name: str, **kwargs) -> ModelBundle:
+    """Instantiate a registered model by name."""
+    if name not in _REGISTRY:
+        raise KeyError(
+            f"unknown model {name!r}; available: {', '.join(available_models())}"
+        )
+    return _REGISTRY[name](**kwargs)
+
+
+# --------------------------------------------------------------------------- #
+# paper-scale registrations (Table II)
+# --------------------------------------------------------------------------- #
+register_model("mlp", build_mlp)
+register_model("resnet18", build_resnet18)
+register_model("mobilenet_v2", build_mobilenet_v2)
+register_model("efficientnet_b0", build_efficientnet_b0)
+
+
+# --------------------------------------------------------------------------- #
+# mini variants for runnable NumPy experiments
+# --------------------------------------------------------------------------- #
+def _mlp_mini(**kwargs) -> ModelBundle:
+    defaults = dict(hidden_layers=2, hidden_units=64, input_shape=(1, 14, 14))
+    defaults.update(kwargs)
+    return build_mlp(**defaults)
+
+
+def _resnet18_mini(**kwargs) -> ModelBundle:
+    defaults = dict(width_multiplier=0.125, blocks_per_stage=1, input_shape=(3, 16, 16))
+    defaults.update(kwargs)
+    return build_resnet18(**defaults)
+
+
+def _mobilenet_v2_mini(**kwargs) -> ModelBundle:
+    defaults = dict(
+        width_multiplier=0.5,
+        config=MOBILENET_V2_MINI_CONFIG,
+        last_channels=64,
+        input_shape=(3, 16, 16),
+    )
+    defaults.update(kwargs)
+    return build_mobilenet_v2(**defaults)
+
+
+def _efficientnet_b0_mini(**kwargs) -> ModelBundle:
+    defaults = dict(
+        width_multiplier=0.5,
+        config=EFFICIENTNET_B0_MINI_CONFIG,
+        last_channels=64,
+        input_shape=(3, 16, 16),
+    )
+    defaults.update(kwargs)
+    return build_efficientnet_b0(**defaults)
+
+
+register_model("mlp-mini", _mlp_mini)
+register_model("resnet18-mini", _resnet18_mini)
+register_model("mobilenet_v2-mini", _mobilenet_v2_mini)
+register_model("efficientnet_b0-mini", _efficientnet_b0_mini)
+
+# Mapping used by the Table V harness: benchmark row name -> (paper-scale
+# registry name, mini registry name, dataset family).
+PAPER_BENCHMARKS = {
+    "MLP": {"full": "mlp", "mini": "mlp-mini", "dataset": "mnist"},
+    "MobileNet-v2": {
+        "full": "mobilenet_v2",
+        "mini": "mobilenet_v2-mini",
+        "dataset": "cifar10",
+    },
+    "EfficientNet-B0": {
+        "full": "efficientnet_b0",
+        "mini": "efficientnet_b0-mini",
+        "dataset": "cifar10",
+    },
+    "ResNet-18": {"full": "resnet18", "mini": "resnet18-mini", "dataset": "cifar10"},
+}

@@ -1,0 +1,49 @@
+"""NumPy deep-learning substrate used by every training algorithm in the repo.
+
+The package provides Caffe-style modules with explicit ``forward``/``backward``
+methods and layer-owned activation caches.  This design makes the memory and
+compute accounting of backpropagation versus Forward-Forward training
+measurable rather than implicit, which is what the paper's efficiency claims
+rest on.
+"""
+
+from repro.nn.activations import LeakyReLU, ReLU, ReLU6, Sigmoid, SiLU, Tanh
+from repro.nn.containers import ResidualAdd, Sequential, SqueezeExcite, chain
+from repro.nn.conv import Conv2d, DepthwiseConv2d
+from repro.nn.dropout import Dropout
+from repro.nn.linear import Linear
+from repro.nn.losses import CrossEntropyLoss, MSELoss, accuracy
+from repro.nn.module import Identity, Module
+from repro.nn.norm import BatchNorm1d, BatchNorm2d, FFLayerNorm
+from repro.nn.parameter import Parameter
+from repro.nn.pooling import AvgPool2d, Flatten, GlobalAvgPool2d, MaxPool2d
+
+__all__ = [
+    "Module",
+    "Identity",
+    "Parameter",
+    "Linear",
+    "Conv2d",
+    "DepthwiseConv2d",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "FFLayerNorm",
+    "ReLU",
+    "ReLU6",
+    "LeakyReLU",
+    "SiLU",
+    "Sigmoid",
+    "Tanh",
+    "Dropout",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+    "Sequential",
+    "ResidualAdd",
+    "SqueezeExcite",
+    "chain",
+    "CrossEntropyLoss",
+    "MSELoss",
+    "accuracy",
+]

@@ -1,0 +1,221 @@
+"""2-D convolution layers lowered to GEMM via im2col.
+
+Two variants are provided:
+
+* :class:`Conv2d` — standard (grouped = 1) convolution used by ResNet-18 and
+  the stem/projection layers of MobileNet-V2 / EfficientNet-B0.
+* :class:`DepthwiseConv2d` — per-channel convolution used by the inverted
+  residual (MBConv) blocks.
+
+Both support an optional attached quantized execution engine so that FF-INT8
+runs the forward GEMM and the weight-gradient GEMM with INT8 operands.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.functional import col2im, conv_output_size, im2col
+from repro.nn.module import Module
+from repro.nn.parameter import Parameter
+from repro.utils.rng import RngLike, new_rng
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+def _pair(value: IntPair) -> Tuple[int, int]:
+    """Normalize an int-or-pair argument to a pair."""
+    if isinstance(value, tuple):
+        return value
+    return (value, value)
+
+
+class Conv2d(Module):
+    """Standard 2-D convolution over ``(N, C, H, W)`` inputs."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: IntPair,
+        stride: IntPair = 1,
+        padding: IntPair = 0,
+        bias: bool = True,
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__()
+        if in_channels <= 0 or out_channels <= 0:
+            raise ValueError(
+                f"channel counts must be positive, got in={in_channels}, "
+                f"out={out_channels}"
+            )
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = _pair(kernel_size)
+        self.stride = _pair(stride)
+        self.padding = _pair(padding)
+        rng = new_rng(rng)
+        weight_shape = (out_channels, in_channels, *self.kernel_size)
+        self.weight = Parameter(init.kaiming_normal(weight_shape, rng=rng), "weight")
+        self.bias: Optional[Parameter] = None
+        if bias:
+            self.bias = Parameter(init.zeros((out_channels,)), "bias")
+        self.quant_engine = None
+
+    # ------------------------------------------------------------------ #
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        """Output shape for a given ``(N, C, H, W)`` input shape."""
+        batch, _, height, width = input_shape
+        out_h = conv_output_size(
+            height, self.kernel_size[0], self.stride[0], self.padding[0]
+        )
+        out_w = conv_output_size(
+            width, self.kernel_size[1], self.stride[1], self.padding[1]
+        )
+        return (batch, self.out_channels, out_h, out_w)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4:
+            raise ValueError(f"Conv2d expects (N, C, H, W) input, got shape {x.shape}")
+        if x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"Conv2d expected {self.in_channels} input channels, got {x.shape[1]}"
+            )
+        batch = x.shape[0]
+        _, _, out_h, out_w = self.output_shape(x.shape)
+        cols = im2col(x, self.kernel_size, self.stride, self.padding)
+        weight_matrix = self.weight.data.reshape(self.out_channels, -1)
+        if self.quant_engine is not None:
+            out = self.quant_engine.linear_forward(cols, weight_matrix)
+        else:
+            out = cols @ weight_matrix.T
+        if self.bias is not None:
+            out = out + self.bias.data
+        out = out.reshape(batch, out_h, out_w, self.out_channels)
+        out = out.transpose(0, 3, 1, 2).astype(np.float32)
+        self._store(cols=cols, input_shape=np.array(x.shape))
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        cols = self._load("cols")
+        input_shape = tuple(int(v) for v in self._load("input_shape"))
+        batch, _, out_h, out_w = grad_output.shape
+        grad_matrix = grad_output.transpose(0, 2, 3, 1).reshape(-1, self.out_channels)
+        grad_matrix = np.ascontiguousarray(grad_matrix, dtype=np.float32)
+
+        if self.quant_engine is not None:
+            grad_weight = self.quant_engine.linear_weight_grad(grad_matrix, cols)
+        else:
+            grad_weight = grad_matrix.T @ cols
+        self.weight.accumulate_grad(grad_weight.reshape(self.weight.data.shape))
+        if self.bias is not None:
+            self.bias.accumulate_grad(grad_matrix.sum(axis=0))
+
+        weight_matrix = self.weight.data.reshape(self.out_channels, -1)
+        grad_cols = grad_matrix @ weight_matrix
+        grad_input = col2im(
+            grad_cols, input_shape, self.kernel_size, self.stride, self.padding
+        )
+        return grad_input.astype(np.float32)
+
+    def extra_repr(self) -> str:
+        return (
+            f"{self.in_channels}, {self.out_channels}, kernel_size={self.kernel_size}, "
+            f"stride={self.stride}, padding={self.padding}, "
+            f"bias={self.bias is not None}"
+        )
+
+
+class DepthwiseConv2d(Module):
+    """Depthwise (per-channel) convolution used in inverted residual blocks."""
+
+    def __init__(
+        self,
+        channels: int,
+        kernel_size: IntPair,
+        stride: IntPair = 1,
+        padding: IntPair = 0,
+        bias: bool = False,
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__()
+        if channels <= 0:
+            raise ValueError(f"channels must be positive, got {channels}")
+        self.channels = channels
+        self.kernel_size = _pair(kernel_size)
+        self.stride = _pair(stride)
+        self.padding = _pair(padding)
+        rng = new_rng(rng)
+        weight_shape = (channels, 1, *self.kernel_size)
+        self.weight = Parameter(init.kaiming_normal(weight_shape, rng=rng), "weight")
+        self.bias: Optional[Parameter] = None
+        if bias:
+            self.bias = Parameter(init.zeros((channels,)), "bias")
+        self.quant_engine = None
+
+    def output_shape(self, input_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        """Output shape for a given ``(N, C, H, W)`` input shape."""
+        batch, channels, height, width = input_shape
+        out_h = conv_output_size(
+            height, self.kernel_size[0], self.stride[0], self.padding[0]
+        )
+        out_w = conv_output_size(
+            width, self.kernel_size[1], self.stride[1], self.padding[1]
+        )
+        return (batch, channels, out_h, out_w)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.channels:
+            raise ValueError(
+                f"DepthwiseConv2d expects (N, {self.channels}, H, W) input, "
+                f"got shape {x.shape}"
+            )
+        batch, channels, _, _ = x.shape
+        _, _, out_h, out_w = self.output_shape(x.shape)
+        kernel_area = self.kernel_size[0] * self.kernel_size[1]
+        cols = im2col(x, self.kernel_size, self.stride, self.padding)
+        # (N*out_h*out_w, C, kh*kw): each channel sees only its own patch.
+        cols = cols.reshape(-1, channels, kernel_area)
+        weight = self.weight.data.reshape(channels, kernel_area)
+        if self.quant_engine is not None:
+            out = self.quant_engine.depthwise_forward(cols, weight)
+        else:
+            out = np.einsum("pck,ck->pc", cols, weight)
+        if self.bias is not None:
+            out = out + self.bias.data
+        out = out.reshape(batch, out_h, out_w, channels).transpose(0, 3, 1, 2)
+        self._store(cols=cols, input_shape=np.array(x.shape))
+        return out.astype(np.float32)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        cols = self._load("cols")
+        input_shape = tuple(int(v) for v in self._load("input_shape"))
+        channels = self.channels
+        kernel_area = self.kernel_size[0] * self.kernel_size[1]
+        grad_matrix = grad_output.transpose(0, 2, 3, 1).reshape(-1, channels)
+        grad_matrix = np.ascontiguousarray(grad_matrix, dtype=np.float32)
+
+        if self.quant_engine is not None:
+            grad_weight = self.quant_engine.depthwise_weight_grad(grad_matrix, cols)
+        else:
+            grad_weight = np.einsum("pc,pck->ck", grad_matrix, cols)
+        self.weight.accumulate_grad(grad_weight.reshape(self.weight.data.shape))
+        if self.bias is not None:
+            self.bias.accumulate_grad(grad_matrix.sum(axis=0))
+
+        weight = self.weight.data.reshape(channels, kernel_area)
+        grad_cols = np.einsum("pc,ck->pck", grad_matrix, weight)
+        grad_cols = grad_cols.reshape(-1, channels * kernel_area)
+        grad_input = col2im(
+            grad_cols, input_shape, self.kernel_size, self.stride, self.padding
+        )
+        return grad_input.astype(np.float32)
+
+    def extra_repr(self) -> str:
+        return (
+            f"channels={self.channels}, kernel_size={self.kernel_size}, "
+            f"stride={self.stride}, padding={self.padding}"
+        )

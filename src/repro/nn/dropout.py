@@ -1,0 +1,40 @@
+"""Inverted dropout regularization."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.utils.rng import RngLike, new_rng
+
+
+class Dropout(Module):
+    """Randomly zero a fraction ``p`` of activations during training.
+
+    Uses inverted scaling so that inference requires no rescaling.  A module
+    level generator keeps the mask sequence reproducible per seed.
+    """
+
+    def __init__(self, p: float = 0.5, rng: RngLike = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must lie in [0, 1), got {p}")
+        self.p = float(p)
+        self.rng = new_rng(rng)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self.rng.random(x.shape) < keep).astype(np.float32) / keep
+        self._store(mask=mask)
+        return (x * mask).astype(np.float32)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if not self.training or self.p == 0.0 or "mask" not in self._cache:
+            return grad_output
+        mask = self._load("mask")
+        return (grad_output * mask).astype(np.float32)
+
+    def extra_repr(self) -> str:
+        return f"p={self.p}"

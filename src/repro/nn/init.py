@@ -1,0 +1,69 @@
+"""Weight initialization schemes.
+
+The substrate defaults to Kaiming (He) initialization for ReLU-family layers
+and Xavier (Glorot) for linear output heads, matching common practice for the
+architectures evaluated in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.rng import RngLike, new_rng
+
+
+def _fan_in_fan_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Compute fan-in/fan-out for dense ``(out, in)`` or conv ``(out, in, kh, kw)``."""
+    if len(shape) == 2:
+        fan_out, fan_in = shape
+        return fan_in, fan_out
+    if len(shape) == 4:
+        out_channels, in_channels, kernel_h, kernel_w = shape
+        receptive = kernel_h * kernel_w
+        return in_channels * receptive, out_channels * receptive
+    raise ValueError(f"unsupported parameter shape for initialization: {shape}")
+
+
+def kaiming_normal(
+    shape: Tuple[int, ...],
+    rng: RngLike = None,
+    gain: float = math.sqrt(2.0),
+) -> np.ndarray:
+    """He-normal initialization: ``std = gain / sqrt(fan_in)``."""
+    rng = new_rng(rng)
+    fan_in, _ = _fan_in_fan_out(shape)
+    std = gain / math.sqrt(max(fan_in, 1))
+    return rng.normal(0.0, std, size=shape).astype(np.float32)
+
+
+def kaiming_uniform(
+    shape: Tuple[int, ...],
+    rng: RngLike = None,
+    gain: float = math.sqrt(2.0),
+) -> np.ndarray:
+    """He-uniform initialization over ``[-bound, bound]``."""
+    rng = new_rng(rng)
+    fan_in, _ = _fan_in_fan_out(shape)
+    bound = gain * math.sqrt(3.0 / max(fan_in, 1))
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def xavier_uniform(shape: Tuple[int, ...], rng: RngLike = None) -> np.ndarray:
+    """Glorot-uniform initialization."""
+    rng = new_rng(rng)
+    fan_in, fan_out = _fan_in_fan_out(shape)
+    bound = math.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    """All-zeros initialization (biases, BatchNorm shift)."""
+    return np.zeros(shape, dtype=np.float32)
+
+
+def ones(shape: Tuple[int, ...]) -> np.ndarray:
+    """All-ones initialization (BatchNorm scale)."""
+    return np.ones(shape, dtype=np.float32)

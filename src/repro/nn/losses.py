@@ -1,0 +1,84 @@
+"""Loss functions for the backpropagation baselines.
+
+Forward-Forward losses (goodness-based, Equations 1 and 2 of the paper) live
+in :mod:`repro.core.losses`; this module covers the conventional supervised
+losses the BP-FP32/INT8/UI8/GDAI8 baselines optimize.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.nn.functional import log_softmax, one_hot, softmax
+
+
+class CrossEntropyLoss:
+    """Softmax cross-entropy over integer class labels.
+
+    ``forward`` returns the mean loss; ``backward`` returns the gradient with
+    respect to the logits (already divided by the batch size).
+    """
+
+    def __init__(self, num_classes: int) -> None:
+        if num_classes <= 1:
+            raise ValueError(f"num_classes must be >= 2, got {num_classes}")
+        self.num_classes = num_classes
+
+    def forward(
+        self, logits: np.ndarray, labels: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
+        """Return ``(mean_loss, grad_logits)`` for a batch."""
+        if logits.ndim != 2 or logits.shape[1] != self.num_classes:
+            raise ValueError(
+                f"logits must have shape (N, {self.num_classes}), got {logits.shape}"
+            )
+        labels = np.asarray(labels, dtype=np.int64)
+        if labels.shape[0] != logits.shape[0]:
+            raise ValueError(
+                f"batch mismatch: logits {logits.shape[0]} vs labels {labels.shape[0]}"
+            )
+        batch = logits.shape[0]
+        log_probs = log_softmax(logits, axis=1)
+        loss = -float(np.mean(log_probs[np.arange(batch), labels]))
+        probs = softmax(logits, axis=1)
+        grad = (probs - one_hot(labels, self.num_classes)) / batch
+        return loss, grad.astype(np.float32)
+
+    __call__ = forward
+
+
+class MSELoss:
+    """Mean squared error against dense targets (used by regression tests)."""
+
+    def forward(
+        self, predictions: np.ndarray, targets: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
+        """Return ``(mean_loss, grad_predictions)``."""
+        predictions = np.asarray(predictions, dtype=np.float32)
+        targets = np.asarray(targets, dtype=np.float32)
+        if predictions.shape != targets.shape:
+            raise ValueError(
+                f"shape mismatch: predictions {predictions.shape} vs targets "
+                f"{targets.shape}"
+            )
+        diff = predictions - targets
+        loss = float(np.mean(diff * diff))
+        grad = 2.0 * diff / diff.size
+        return loss, grad.astype(np.float32)
+
+    __call__ = forward
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 classification accuracy in [0, 1]."""
+    predictions = np.argmax(logits, axis=1)
+    labels = np.asarray(labels, dtype=np.int64)
+    if predictions.shape != labels.shape:
+        raise ValueError(
+            f"shape mismatch: predictions {predictions.shape} vs labels {labels.shape}"
+        )
+    if labels.size == 0:
+        return 0.0
+    return float(np.mean(predictions == labels))

@@ -1,0 +1,78 @@
+"""Trainable parameter container.
+
+A :class:`Parameter` pairs a value array with its gradient accumulator.  The
+substrate uses explicit, layer-owned gradients (Caffe-style) instead of a
+taped autograd graph: every :class:`~repro.nn.module.Module` computes its own
+backward pass and writes ``param.grad``.  This makes the memory accounting of
+backpropagation vs. Forward-Forward explicit and auditable, which is central
+to the paper's memory-footprint claims.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable tensor with an explicit gradient buffer."""
+
+    __slots__ = ("data", "grad", "name", "requires_grad")
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        name: str = "",
+        requires_grad: bool = True,
+    ) -> None:
+        self.data = np.asarray(data, dtype=np.float32)
+        self.grad: Optional[np.ndarray] = None
+        self.name = name
+        self.requires_grad = requires_grad
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Shape of the underlying value array."""
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        """Number of scalar elements."""
+        return int(self.data.size)
+
+    def zero_grad(self) -> None:
+        """Reset the gradient accumulator to ``None`` (lazily re-allocated)."""
+        self.grad = None
+
+    def accumulate_grad(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into the gradient buffer, allocating it if needed."""
+        if not self.requires_grad:
+            return
+        grad = np.asarray(grad, dtype=np.float32)
+        if grad.shape != self.data.shape:
+            raise ValueError(
+                f"gradient shape {grad.shape} does not match parameter "
+                f"{self.name or '<unnamed>'} shape {self.data.shape}"
+            )
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    def copy_(self, values: np.ndarray) -> None:
+        """Overwrite the parameter value in place (shape-checked)."""
+        values = np.asarray(values, dtype=np.float32)
+        if values.shape != self.data.shape:
+            raise ValueError(
+                f"cannot copy values of shape {values.shape} into parameter of "
+                f"shape {self.data.shape}"
+            )
+        self.data[...] = values
+
+    def nbytes(self, bytes_per_element: int = 4) -> int:
+        """Memory footprint of the value array at the given element width."""
+        return self.size * bytes_per_element
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter(name={self.name!r}, shape={self.data.shape})"

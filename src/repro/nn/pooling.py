@@ -1,0 +1,173 @@
+"""Spatial pooling and reshaping layers."""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+import numpy as np
+
+from repro.nn.functional import conv_output_size
+from repro.nn.module import Module
+
+IntPair = Union[int, Tuple[int, int]]
+
+
+def _pair(value: IntPair) -> Tuple[int, int]:
+    if isinstance(value, tuple):
+        return value
+    return (value, value)
+
+
+class MaxPool2d(Module):
+    """Max pooling over non-overlapping or strided windows."""
+
+    def __init__(self, kernel_size: IntPair, stride: IntPair = None, padding: IntPair = 0):
+        super().__init__()
+        self.kernel_size = _pair(kernel_size)
+        self.stride = _pair(stride) if stride is not None else self.kernel_size
+        self.padding = _pair(padding)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4:
+            raise ValueError(f"MaxPool2d expects (N, C, H, W), got shape {x.shape}")
+        batch, channels, height, width = x.shape
+        kernel_h, kernel_w = self.kernel_size
+        stride_h, stride_w = self.stride
+        pad_h, pad_w = self.padding
+        out_h = conv_output_size(height, kernel_h, stride_h, pad_h)
+        out_w = conv_output_size(width, kernel_w, stride_w, pad_w)
+        padded = np.pad(
+            x,
+            ((0, 0), (0, 0), (pad_h, pad_h), (pad_w, pad_w)),
+            mode="constant",
+            constant_values=-np.inf,
+        )
+        windows = np.empty(
+            (batch, channels, out_h, out_w, kernel_h * kernel_w), dtype=x.dtype
+        )
+        for row in range(kernel_h):
+            for col in range(kernel_w):
+                windows[..., row * kernel_w + col] = padded[
+                    :,
+                    :,
+                    row : row + stride_h * out_h : stride_h,
+                    col : col + stride_w * out_w : stride_w,
+                ]
+        argmax = windows.argmax(axis=-1)
+        out = np.take_along_axis(windows, argmax[..., None], axis=-1)[..., 0]
+        self._store(argmax=argmax, input_shape=np.array(x.shape))
+        return out.astype(np.float32)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        argmax = self._load("argmax")
+        input_shape = tuple(int(v) for v in self._load("input_shape"))
+        batch, channels, height, width = input_shape
+        kernel_h, kernel_w = self.kernel_size
+        stride_h, stride_w = self.stride
+        pad_h, pad_w = self.padding
+        out_h, out_w = grad_output.shape[2], grad_output.shape[3]
+        grad_padded = np.zeros(
+            (batch, channels, height + 2 * pad_h, width + 2 * pad_w), dtype=np.float32
+        )
+        rows_in_window, cols_in_window = np.divmod(argmax, kernel_w)
+        batch_idx, chan_idx, out_row, out_col = np.indices(
+            (batch, channels, out_h, out_w)
+        )
+        abs_rows = out_row * stride_h + rows_in_window
+        abs_cols = out_col * stride_w + cols_in_window
+        np.add.at(
+            grad_padded,
+            (batch_idx, chan_idx, abs_rows, abs_cols),
+            grad_output,
+        )
+        if pad_h == 0 and pad_w == 0:
+            return grad_padded
+        return grad_padded[:, :, pad_h : pad_h + height, pad_w : pad_w + width]
+
+    def extra_repr(self) -> str:
+        return (
+            f"kernel_size={self.kernel_size}, stride={self.stride}, "
+            f"padding={self.padding}"
+        )
+
+
+class GlobalAvgPool2d(Module):
+    """Average over all spatial positions, producing ``(N, C)``."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4:
+            raise ValueError(
+                f"GlobalAvgPool2d expects (N, C, H, W), got shape {x.shape}"
+            )
+        self._store(input_shape=np.array(x.shape))
+        return x.mean(axis=(2, 3)).astype(np.float32)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        input_shape = tuple(int(v) for v in self._load("input_shape"))
+        _, _, height, width = input_shape
+        scale = 1.0 / (height * width)
+        grad = grad_output[:, :, None, None] * scale
+        return np.broadcast_to(grad, input_shape).astype(np.float32)
+
+
+class AvgPool2d(Module):
+    """Average pooling with a fixed kernel and stride."""
+
+    def __init__(self, kernel_size: IntPair, stride: IntPair = None):
+        super().__init__()
+        self.kernel_size = _pair(kernel_size)
+        self.stride = _pair(stride) if stride is not None else self.kernel_size
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4:
+            raise ValueError(f"AvgPool2d expects (N, C, H, W), got shape {x.shape}")
+        batch, channels, height, width = x.shape
+        kernel_h, kernel_w = self.kernel_size
+        stride_h, stride_w = self.stride
+        out_h = conv_output_size(height, kernel_h, stride_h, 0)
+        out_w = conv_output_size(width, kernel_w, stride_w, 0)
+        out = np.zeros((batch, channels, out_h, out_w), dtype=np.float32)
+        for row in range(kernel_h):
+            for col in range(kernel_w):
+                out += x[
+                    :,
+                    :,
+                    row : row + stride_h * out_h : stride_h,
+                    col : col + stride_w * out_w : stride_w,
+                ]
+        out /= kernel_h * kernel_w
+        self._store(input_shape=np.array(x.shape))
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        input_shape = tuple(int(v) for v in self._load("input_shape"))
+        batch, channels, height, width = input_shape
+        kernel_h, kernel_w = self.kernel_size
+        stride_h, stride_w = self.stride
+        out_h, out_w = grad_output.shape[2], grad_output.shape[3]
+        grad_input = np.zeros(input_shape, dtype=np.float32)
+        scaled = grad_output / (kernel_h * kernel_w)
+        for row in range(kernel_h):
+            for col in range(kernel_w):
+                grad_input[
+                    :,
+                    :,
+                    row : row + stride_h * out_h : stride_h,
+                    col : col + stride_w * out_w : stride_w,
+                ] += scaled
+        return grad_input
+
+    def extra_repr(self) -> str:
+        return f"kernel_size={self.kernel_size}, stride={self.stride}"
+
+
+class Flatten(Module):
+    """Collapse all non-batch dimensions into one feature dimension."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._store(input_shape=np.array(x.shape))
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        input_shape = tuple(int(v) for v in self._load("input_shape"))
+        return grad_output.reshape(input_shape)

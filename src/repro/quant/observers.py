@@ -1,0 +1,104 @@
+"""Range observers for calibration and gradient-distribution-aware quantizers.
+
+Observers track the dynamic range of a stream of tensors and produce a SUQ
+scale.  The GDAI8 baseline uses a percentile observer (robust to the sharp,
+heavy-tailed gradient distributions shown in Figure 3 of the paper); the UI8
+baseline uses a clipping observer driven by gradient direction deviation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class MinMaxObserver:
+    """Track the running absolute maximum of observed tensors."""
+
+    def __init__(self) -> None:
+        self.abs_max = 0.0
+        self.count = 0
+
+    def observe(self, values: np.ndarray) -> None:
+        """Update statistics from one tensor."""
+        if values.size:
+            self.abs_max = max(self.abs_max, float(np.max(np.abs(values))))
+        self.count += 1
+
+    def scale(self, qmax: int, eps: float = 1e-12) -> float:
+        """SUQ scale that covers everything observed so far."""
+        return max(self.abs_max, eps) / qmax
+
+    def reset(self) -> None:
+        """Forget all observations."""
+        self.abs_max = 0.0
+        self.count = 0
+
+
+class MovingAverageObserver:
+    """Exponential moving average of per-batch absolute maxima.
+
+    Smoother than :class:`MinMaxObserver`; a single outlier batch does not
+    permanently inflate the scale.
+    """
+
+    def __init__(self, momentum: float = 0.9) -> None:
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must lie in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self.abs_max: Optional[float] = None
+        self.count = 0
+
+    def observe(self, values: np.ndarray) -> None:
+        """Update the moving average with one tensor."""
+        if not values.size:
+            return
+        batch_max = float(np.max(np.abs(values)))
+        if self.abs_max is None:
+            self.abs_max = batch_max
+        else:
+            self.abs_max = self.momentum * self.abs_max + (1 - self.momentum) * batch_max
+        self.count += 1
+
+    def scale(self, qmax: int, eps: float = 1e-12) -> float:
+        """SUQ scale from the smoothed range."""
+        current = self.abs_max if self.abs_max is not None else 0.0
+        return max(current, eps) / qmax
+
+    def reset(self) -> None:
+        """Forget all observations."""
+        self.abs_max = None
+        self.count = 0
+
+
+class PercentileObserver:
+    """Scale from a percentile of ``|values|`` rather than the maximum.
+
+    This is the core mechanism of gradient-distribution-aware INT8 training:
+    sharp gradient distributions (Figure 3) have rare, large outliers; scaling
+    to the outlier wastes almost all integer levels on empty range.  Clipping
+    at a high percentile keeps resolution where the mass is.
+    """
+
+    def __init__(self, percentile: float = 99.9) -> None:
+        if not 0.0 < percentile <= 100.0:
+            raise ValueError(f"percentile must lie in (0, 100], got {percentile}")
+        self.percentile = percentile
+        self.last_value = 0.0
+        self.count = 0
+
+    def observe(self, values: np.ndarray) -> None:
+        """Record the clipping threshold of one tensor."""
+        if values.size:
+            self.last_value = float(np.percentile(np.abs(values), self.percentile))
+        self.count += 1
+
+    def scale(self, qmax: int, eps: float = 1e-12) -> float:
+        """SUQ scale from the most recent percentile threshold."""
+        return max(self.last_value, eps) / qmax
+
+    def reset(self) -> None:
+        """Forget all observations."""
+        self.last_value = 0.0
+        self.count = 0

@@ -1,0 +1,60 @@
+"""Quantized tensor container.
+
+A :class:`QuantizedTensor` bundles the integer payload with the scale used to
+produce it, so downstream code can dequantize or feed it straight into the
+integer kernels without re-deriving metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.quant.qconfig import QuantConfig
+from repro.quant.suq import dequantize, quantize
+from repro.utils.rng import RngLike
+
+
+@dataclass
+class QuantizedTensor:
+    """Integer payload plus quantization metadata."""
+
+    q: np.ndarray
+    scale: np.ndarray
+    bits: int = 8
+    channel_axis: Optional[int] = None
+
+    @classmethod
+    def from_float(
+        cls,
+        values: np.ndarray,
+        config: QuantConfig,
+        axis: Optional[int] = None,
+        rng: RngLike = None,
+    ) -> "QuantizedTensor":
+        """Quantize a float tensor under ``config``."""
+        q, scale = quantize(values, config, axis=axis, rng=rng)
+        channel_axis = axis if config.per_channel and axis is not None else None
+        return cls(q=q, scale=np.asarray(scale), bits=config.bits, channel_axis=channel_axis)
+
+    def to_float(self) -> np.ndarray:
+        """Dequantize back to float32."""
+        return dequantize(self.q, self.scale, axis=self.channel_axis)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Shape of the integer payload."""
+        return self.q.shape
+
+    def nbytes(self) -> int:
+        """Storage footprint of the integer payload in bytes."""
+        bytes_per_element = max(1, (self.bits + 7) // 8)
+        return int(self.q.size * bytes_per_element)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"QuantizedTensor(shape={self.q.shape}, bits={self.bits}, "
+            f"channel_axis={self.channel_axis})"
+        )

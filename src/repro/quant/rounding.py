@@ -1,0 +1,38 @@
+"""Rounding modes for quantization.
+
+Stochastic rounding (Gupta et al., ICML 2015) rounds a real value up with
+probability equal to its fractional part, making the rounding unbiased in
+expectation.  The paper applies it when quantizing layer inputs and gradients
+(Section IV-B, Figure 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import RngLike, new_rng
+
+
+def round_nearest(values: np.ndarray) -> np.ndarray:
+    """Round half away from zero (matches common fixed-point hardware)."""
+    return np.sign(values) * np.floor(np.abs(values) + 0.5)
+
+
+def round_stochastic(values: np.ndarray, rng: RngLike = None) -> np.ndarray:
+    """Unbiased stochastic rounding: ``E[round(x)] == x``."""
+    rng = new_rng(rng)
+    floor = np.floor(values)
+    fraction = values - floor
+    noise = rng.random(values.shape)
+    return floor + (noise < fraction).astype(values.dtype)
+
+
+def apply_rounding(
+    values: np.ndarray, mode: str, rng: RngLike = None
+) -> np.ndarray:
+    """Dispatch on rounding ``mode`` ('stochastic' or 'nearest')."""
+    if mode == "stochastic":
+        return round_stochastic(values, rng=rng)
+    if mode == "nearest":
+        return round_nearest(values)
+    raise ValueError(f"unknown rounding mode {mode!r}")

@@ -1,0 +1,131 @@
+"""Symmetric uniform quantization (SUQ).
+
+SUQ maps a real tensor ``x`` to integer levels ``q = round(x / scale)`` with a
+single (or per-channel) positive ``scale`` chosen so that the extreme value of
+``x`` maps to the extreme representable level.  The zero point is always 0,
+which is what makes the integer matmul hardware-friendly (no cross terms),
+and is the quantizer the paper builds FF-INT8 on (Section IV).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.quant.qconfig import QuantConfig
+from repro.quant.rounding import apply_rounding
+from repro.utils.rng import RngLike
+
+
+def compute_scale(
+    values: np.ndarray,
+    qmax: int,
+    percentile: Optional[float] = None,
+    axis: Optional[int] = None,
+    eps: float = 1e-12,
+) -> np.ndarray:
+    """Return the SUQ scale(s) for ``values``.
+
+    Parameters
+    ----------
+    values:
+        Tensor to be quantized.
+    qmax:
+        Largest positive integer level (127 for INT8).
+    percentile:
+        If given, clip the dynamic range at this percentile of ``|values|``
+        instead of the absolute maximum (robust to outliers — the mechanism
+        GDAI8-style gradient quantizers rely on).
+    axis:
+        If given, compute one scale per index along ``axis`` (per-channel
+        quantization for weights); otherwise a single per-tensor scale.
+    """
+    magnitude = np.abs(np.asarray(values, dtype=np.float64))
+    if axis is None:
+        if percentile is None or percentile >= 100.0:
+            extreme = magnitude.max() if magnitude.size else 0.0
+        else:
+            extreme = np.percentile(magnitude, percentile) if magnitude.size else 0.0
+        extreme = float(extreme)
+        return np.float64(max(extreme, eps) / qmax)
+
+    moved = np.moveaxis(magnitude, axis, 0).reshape(magnitude.shape[axis], -1)
+    if percentile is None or percentile >= 100.0:
+        extreme = moved.max(axis=1) if moved.size else np.zeros(moved.shape[0])
+    else:
+        extreme = np.percentile(moved, percentile, axis=1)
+    return np.maximum(extreme, eps) / qmax
+
+
+def quantize(
+    values: np.ndarray,
+    config: QuantConfig,
+    scale: Optional[np.ndarray] = None,
+    axis: Optional[int] = None,
+    rng: RngLike = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Quantize ``values`` to integer levels.
+
+    Returns ``(q, scale)`` where ``q`` is an integer array (int8 when
+    ``config.bits <= 8``, otherwise int32) and ``scale`` the positive step
+    size(s) needed to dequantize (``x ≈ q * scale``).
+    """
+    values = np.asarray(values, dtype=np.float32)
+    if scale is None:
+        channel_axis = axis if config.per_channel and axis is not None else None
+        scale = compute_scale(
+            values, config.qmax, percentile=config.percentile, axis=channel_axis
+        )
+    scale = np.asarray(scale, dtype=np.float64)
+    if axis is not None and scale.ndim == 1:
+        broadcast_shape = [1] * values.ndim
+        broadcast_shape[axis] = scale.shape[0]
+        scale_b = scale.reshape(broadcast_shape)
+    else:
+        scale_b = scale
+    levels = values / scale_b
+    rounded = apply_rounding(levels, config.rounding, rng=rng or config.rng())
+    clipped = np.clip(rounded, config.qmin, config.qmax)
+    if config.bits <= 8:
+        dtype = np.int8
+    elif config.bits <= 16:
+        dtype = np.int16
+    else:
+        dtype = np.int32
+    return clipped.astype(dtype), scale
+
+
+def dequantize(
+    q: np.ndarray, scale: np.ndarray, axis: Optional[int] = None
+) -> np.ndarray:
+    """Reconstruct real values from integer levels and scale(s)."""
+    scale = np.asarray(scale, dtype=np.float64)
+    if axis is not None and scale.ndim == 1:
+        broadcast_shape = [1] * q.ndim
+        broadcast_shape[axis] = scale.shape[0]
+        scale = scale.reshape(broadcast_shape)
+    return (q.astype(np.float64) * scale).astype(np.float32)
+
+
+def fake_quantize(
+    values: np.ndarray,
+    config: QuantConfig,
+    axis: Optional[int] = None,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Quantize then immediately dequantize (simulated quantization error).
+
+    Used by the naive BP-INT8 baseline to inject gradient quantization error
+    while keeping the update rule in floating point, and by tests that check
+    error bounds of the quantizer.
+    """
+    q, scale = quantize(values, config, axis=axis, rng=rng)
+    channel_axis = axis if config.per_channel and axis is not None else None
+    return dequantize(q, scale, axis=channel_axis)
+
+
+def quantization_error(values: np.ndarray, config: QuantConfig) -> float:
+    """Mean absolute error introduced by quantizing ``values`` (per-tensor)."""
+    reconstructed = fake_quantize(values, config)
+    return float(np.mean(np.abs(values - reconstructed)))

@@ -1,0 +1,109 @@
+"""Training-run records shared by every trainer in the repository."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class EpochRecord:
+    """Metrics of a single training epoch."""
+
+    epoch: int
+    train_loss: float
+    train_accuracy: float
+    test_accuracy: Optional[float] = None
+    lr: Optional[float] = None
+    lambda_value: Optional[float] = None
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch metric trajectory for one training run."""
+
+    algorithm: str
+    model_name: str
+    dataset_name: str
+    records: List[EpochRecord] = field(default_factory=list)
+    diverged: bool = False
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def append(self, record: EpochRecord) -> None:
+        """Add a completed epoch to the trajectory."""
+        self.records.append(record)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_epochs(self) -> int:
+        """Number of completed epochs."""
+        return len(self.records)
+
+    @property
+    def train_losses(self) -> List[float]:
+        """Training-loss curve."""
+        return [record.train_loss for record in self.records]
+
+    @property
+    def train_accuracies(self) -> List[float]:
+        """Training-accuracy curve."""
+        return [record.train_accuracy for record in self.records]
+
+    @property
+    def test_accuracies(self) -> List[float]:
+        """Test-accuracy curve (entries may be ``None`` if not evaluated)."""
+        return [record.test_accuracy for record in self.records]
+
+    @property
+    def final_test_accuracy(self) -> Optional[float]:
+        """Last recorded test accuracy."""
+        for record in reversed(self.records):
+            if record.test_accuracy is not None:
+                return record.test_accuracy
+        return None
+
+    @property
+    def best_test_accuracy(self) -> Optional[float]:
+        """Best test accuracy over the run."""
+        values = [r.test_accuracy for r in self.records if r.test_accuracy is not None]
+        return max(values) if values else None
+
+    def epochs_to_accuracy(self, target: float) -> Optional[int]:
+        """First epoch (1-based) whose test accuracy reaches ``target``.
+
+        Used to compare convergence speed with and without look-ahead
+        (Figure 6); returns ``None`` if the target is never reached.
+        """
+        for record in self.records:
+            if record.test_accuracy is not None and record.test_accuracy >= target:
+                return record.epoch
+        return None
+
+    def as_dict(self) -> dict:
+        """JSON-serializable summary.
+
+        Metadata entries holding live Python objects (trained models, FF
+        units, classifiers) are dropped; only plain values are exported.
+        """
+        import json
+
+        metadata = {}
+        for key, value in self.metadata.items():
+            try:
+                json.dumps(value)
+            except (TypeError, ValueError):
+                continue
+            metadata[key] = value
+        return {
+            "algorithm": self.algorithm,
+            "model": self.model_name,
+            "dataset": self.dataset_name,
+            "num_epochs": self.num_epochs,
+            "diverged": self.diverged,
+            "final_test_accuracy": self.final_test_accuracy,
+            "best_test_accuracy": self.best_test_accuracy,
+            "train_losses": self.train_losses,
+            "test_accuracies": self.test_accuracies,
+            "metadata": metadata,
+        }

@@ -1,0 +1,59 @@
+"""Evaluation helpers shared by the BP and FF trainers."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset, DataLoader
+from repro.nn.losses import CrossEntropyLoss, accuracy
+from repro.nn.module import Module
+
+
+def evaluate_classifier(
+    model: Module,
+    dataset: ArrayDataset,
+    batch_size: int = 64,
+    flatten_input: bool = False,
+    max_batches: Optional[int] = None,
+) -> Tuple[float, float]:
+    """Return ``(mean_loss, accuracy)`` of ``model`` on ``dataset``.
+
+    The model is put in eval mode (BatchNorm running stats, no dropout) and
+    restored to its previous mode afterwards.
+    """
+    was_training = model.training
+    model.eval()
+    loss_fn = CrossEntropyLoss(dataset.num_classes)
+    loader = DataLoader(dataset, batch_size=batch_size, shuffle=False)
+    total_loss = 0.0
+    total_correct = 0.0
+    total_samples = 0
+    for batch_index, (images, labels) in enumerate(loader):
+        if max_batches is not None and batch_index >= max_batches:
+            break
+        inputs = images.reshape(images.shape[0], -1) if flatten_input else images
+        logits = model(inputs)
+        loss, _ = loss_fn(logits, labels)
+        total_loss += loss * labels.shape[0]
+        total_correct += accuracy(logits, labels) * labels.shape[0]
+        total_samples += labels.shape[0]
+    if was_training:
+        model.train()
+    if total_samples == 0:
+        return 0.0, 0.0
+    return total_loss / total_samples, total_correct / total_samples
+
+
+def prediction_entropy(logits: np.ndarray) -> float:
+    """Mean predictive entropy (nats); high entropy ≈ random-level predictions.
+
+    Used by the divergence detector for Figure 2: a collapsed INT8 run drifts
+    toward uniform predictions.
+    """
+    from repro.nn.functional import softmax
+
+    probs = softmax(logits, axis=1)
+    entropy = -np.sum(probs * np.log(probs + 1e-12), axis=1)
+    return float(np.mean(entropy))

@@ -1,0 +1,20 @@
+"""General utilities shared across the FF-INT8 reproduction.
+
+The helpers here are intentionally small and dependency-free: deterministic
+random-number management (:mod:`repro.utils.rng`), structured logging
+(:mod:`repro.utils.logging`), and light-weight serialization of training
+artifacts (:mod:`repro.utils.serialization`).
+"""
+
+from repro.utils.logging import get_logger
+from repro.utils.rng import new_rng, spawn_rngs, temp_seed
+from repro.utils.serialization import load_json, save_json
+
+__all__ = [
+    "get_logger",
+    "new_rng",
+    "spawn_rngs",
+    "temp_seed",
+    "load_json",
+    "save_json",
+]

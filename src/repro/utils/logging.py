@@ -1,0 +1,27 @@
+"""Minimal structured logging for training runs.
+
+Experiments log one line per epoch; the default handler writes to stderr so
+that benchmark output (tables) on stdout stays machine-readable.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+_FORMAT = "%(asctime)s %(name)s %(levelname)s %(message)s"
+_CONFIGURED = False
+
+
+def get_logger(name: str = "repro", level: int = logging.INFO) -> logging.Logger:
+    """Return a library logger, configuring the root handler on first use."""
+    global _CONFIGURED
+    if not _CONFIGURED:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        root = logging.getLogger("repro")
+        root.addHandler(handler)
+        root.setLevel(level)
+        root.propagate = False
+        _CONFIGURED = True
+    return logging.getLogger(name)

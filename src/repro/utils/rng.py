@@ -1,0 +1,84 @@
+"""Deterministic random-number helpers.
+
+Every stochastic component of the library (weight initialization, stochastic
+rounding, synthetic dataset generation, data shuffling) draws from an explicit
+:class:`numpy.random.Generator` so that experiments are reproducible from a
+single integer seed.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Optional, Sequence, Union
+
+import numpy as np
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def new_rng(seed: RngLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for OS entropy, an ``int`` seed, or an existing generator
+        (returned unchanged so callers can pass either form).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: RngLike, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent generators from one seed.
+
+    Child generators are created through :class:`numpy.random.SeedSequence`
+    spawning so that streams do not overlap even for adjacent seeds.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if isinstance(seed, np.random.Generator):
+        seq = seed.bit_generator.seed_seq  # type: ignore[attr-defined]
+    else:
+        seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(count)]
+
+
+@contextlib.contextmanager
+def temp_seed(seed: int) -> Iterator[None]:
+    """Temporarily seed NumPy's legacy global RNG.
+
+    Only used when interfacing with third-party code that relies on the
+    global state; library code should prefer explicit generators.
+    """
+    state = np.random.get_state()
+    np.random.seed(seed)
+    try:
+        yield
+    finally:
+        np.random.set_state(state)
+
+
+def sample_indices(
+    rng: np.random.Generator,
+    population: int,
+    size: int,
+    replace: bool = False,
+    exclude: Optional[Sequence[int]] = None,
+) -> np.ndarray:
+    """Sample ``size`` indices from ``range(population)``.
+
+    ``exclude`` removes candidate indices before sampling, which is used by
+    the negative-sample generator to avoid drawing the true label.
+    """
+    candidates = np.arange(population)
+    if exclude is not None:
+        mask = np.ones(population, dtype=bool)
+        mask[np.asarray(exclude, dtype=int)] = False
+        candidates = candidates[mask]
+    if not replace and size > candidates.size:
+        raise ValueError(
+            f"cannot sample {size} unique indices from {candidates.size} candidates"
+        )
+    return rng.choice(candidates, size=size, replace=replace)

@@ -1,0 +1,58 @@
+"""Serialization helpers for experiment records and model checkpoints.
+
+Model parameters are stored as ``.npz`` archives; experiment metadata and
+result tables are stored as JSON with NumPy scalars coerced to native types.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Mapping, Union
+
+import numpy as np
+
+PathLike = Union[str, Path]
+
+
+def _to_jsonable(value: Any) -> Any:
+    """Recursively convert NumPy containers/scalars into JSON-native types."""
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, Mapping):
+        return {str(key): _to_jsonable(val) for key, val in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_to_jsonable(item) for item in value]
+    return value
+
+
+def save_json(payload: Mapping[str, Any], path: PathLike) -> Path:
+    """Write ``payload`` to ``path`` as indented JSON and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(_to_jsonable(dict(payload)), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_json(path: PathLike) -> Dict[str, Any]:
+    """Read a JSON file written by :func:`save_json`."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def save_parameters(params: Mapping[str, np.ndarray], path: PathLike) -> Path:
+    """Save a mapping of parameter name to array as a compressed ``.npz``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **{key: np.asarray(val) for key, val in params.items()})
+    return path
+
+
+def load_parameters(path: PathLike) -> Dict[str, np.ndarray]:
+    """Load a parameter archive saved by :func:`save_parameters`."""
+    with np.load(Path(path)) as archive:
+        return {key: archive[key].copy() for key in archive.files}

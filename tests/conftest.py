@@ -1,0 +1,39 @@
+"""Shared fixtures for the FF-INT8 reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import synthetic_cifar10, synthetic_mnist
+from repro.models import build_mlp, build_model
+
+
+@pytest.fixture(scope="session")
+def rng():
+    """Session-wide deterministic generator for test randomness."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_mnist():
+    """Small MNIST-shaped (14x14) train/test pair shared across tests."""
+    return synthetic_mnist(num_train=256, num_test=96, seed=7, image_size=14)
+
+
+@pytest.fixture(scope="session")
+def tiny_cifar():
+    """Small CIFAR-shaped (16x16) train/test pair shared across tests."""
+    return synthetic_cifar10(num_train=128, num_test=64, seed=11, image_size=16)
+
+
+@pytest.fixture()
+def mlp_small():
+    """A small MLP bundle matching the tiny MNIST input shape."""
+    return build_mlp(input_shape=(1, 14, 14), hidden_layers=2, hidden_units=48, seed=3)
+
+
+@pytest.fixture()
+def resnet_tiny():
+    """A tiny ResNet bundle matching the tiny CIFAR input shape."""
+    return build_model("resnet18-mini", input_shape=(3, 16, 16), seed=5)

@@ -1,0 +1,100 @@
+"""Numerical gradient checking utilities for the NumPy substrate.
+
+Every layer implements its own analytical backward pass; these helpers verify
+them against central finite differences, both for input gradients and for
+parameter gradients.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+def numerical_gradient(
+    func: Callable[[np.ndarray], float], values: np.ndarray, eps: float = 1e-3
+) -> np.ndarray:
+    """Central-difference gradient of a scalar function of ``values``."""
+    grad = np.zeros_like(values, dtype=np.float64)
+    flat = values.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + eps
+        upper = func(values)
+        flat[index] = original - eps
+        lower = func(values)
+        flat[index] = original
+        grad_flat[index] = (upper - lower) / (2.0 * eps)
+    return grad
+
+
+def check_input_gradient(
+    module: Module,
+    inputs: np.ndarray,
+    rtol: float = 1e-2,
+    atol: float = 1e-3,
+    eps: float = 1e-3,
+) -> None:
+    """Assert the module's input gradient matches finite differences.
+
+    The scalar objective is ``sum(weights * forward(x))`` with fixed random
+    weights, which exercises every output element.
+    """
+    rng = np.random.default_rng(0)
+    module.train()
+    module.set_activation_caching(True)
+    reference_output = module(np.array(inputs, dtype=np.float32, copy=True))
+    mix = rng.normal(size=reference_output.shape).astype(np.float32)
+
+    def objective(x: np.ndarray) -> float:
+        module.clear_cache()
+        out = module(np.asarray(x, dtype=np.float32))
+        return float(np.sum(out.astype(np.float64) * mix))
+
+    numeric = numerical_gradient(objective, np.array(inputs, dtype=np.float64), eps)
+    module.clear_cache()
+    module(np.array(inputs, dtype=np.float32, copy=True))
+    analytic = module.backward(mix)
+    np.testing.assert_allclose(analytic, numeric, rtol=rtol, atol=atol)
+
+
+def check_parameter_gradients(
+    module: Module,
+    inputs: np.ndarray,
+    rtol: float = 1e-2,
+    atol: float = 1e-3,
+    eps: float = 1e-3,
+) -> None:
+    """Assert every parameter gradient matches finite differences."""
+    rng = np.random.default_rng(1)
+    module.train()
+    module.set_activation_caching(True)
+    reference_output = module(np.array(inputs, dtype=np.float32, copy=True))
+    mix = rng.normal(size=reference_output.shape).astype(np.float32)
+
+    module.zero_grad()
+    module.clear_cache()
+    module(np.array(inputs, dtype=np.float32, copy=True))
+    module.backward(mix)
+
+    for name, param in module.named_parameters():
+        def objective(values: np.ndarray, _param=param) -> float:
+            original = _param.data.copy()
+            _param.data[...] = values.astype(np.float32)
+            module.clear_cache()
+            out = module(np.array(inputs, dtype=np.float32, copy=True))
+            _param.data[...] = original
+            return float(np.sum(out.astype(np.float64) * mix))
+
+        numeric = numerical_gradient(
+            objective, param.data.astype(np.float64).copy(), eps
+        )
+        assert param.grad is not None, f"no gradient accumulated for {name}"
+        np.testing.assert_allclose(
+            param.grad, numeric, rtol=rtol, atol=atol,
+            err_msg=f"parameter gradient mismatch for {name}",
+        )

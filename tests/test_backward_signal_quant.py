@@ -1,0 +1,145 @@
+"""Tests for backward-signal quantization and static-scale direct INT8.
+
+These cover the machinery behind the Table I / Figure 2 experiments: the
+inter-layer gradient transform hook on :class:`Sequential` and the
+static-calibration behaviour of :class:`DirectInt8Gradient`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models import build_mlp
+from repro.nn import Linear, ReLU, Sequential
+from repro.training import BPConfig, BPTrainer, DirectInt8Gradient, make_bp_config
+from repro.training.bp import BPTrainer as _BPTrainer
+
+
+class TestInterLayerGradTransform:
+    def _model(self):
+        return Sequential(Linear(8, 6, rng=0), ReLU(), Linear(6, 4, rng=1))
+
+    def test_transform_applied_between_layers(self):
+        model = self._model()
+        calls = []
+
+        def transform(grad):
+            calls.append(grad.shape)
+            return grad
+
+        model.inter_layer_grad_transform = transform
+        x = np.random.default_rng(0).normal(size=(3, 8)).astype(np.float32)
+        out = model(x)
+        model.backward(np.ones_like(out))
+        # Applied after every child except the first in backward order
+        # (i.e. not after the gradient has already reached the input).
+        assert len(calls) == 2
+        assert calls[0] == (3, 6)  # between Linear(6,4) and ReLU
+        assert calls[1] == (3, 6)  # between ReLU and Linear(8,6)
+
+    def test_identity_transform_preserves_gradients(self):
+        model_a = self._model()
+        model_b = self._model()
+        model_b.load_state_dict(model_a.state_dict())
+        model_b.inter_layer_grad_transform = lambda grad: grad
+
+        x = np.random.default_rng(1).normal(size=(4, 8)).astype(np.float32)
+        for model in (model_a, model_b):
+            out = model(x)
+            model.zero_grad()
+            model.backward(np.ones_like(out))
+        for (_, pa), (_, pb) in zip(model_a.named_parameters(),
+                                    model_b.named_parameters()):
+            np.testing.assert_allclose(pa.grad, pb.grad, rtol=1e-6)
+
+    def test_quantizing_transform_changes_early_layer_gradients(self):
+        model = self._model()
+        reference = self._model()
+        reference.load_state_dict(model.state_dict())
+
+        transform = DirectInt8Gradient(static_scale=False)
+        model.inter_layer_grad_transform = (
+            lambda grad: transform("signal", grad)
+        )
+        x = np.random.default_rng(2).normal(size=(16, 8)).astype(np.float32)
+        grad_out = np.random.default_rng(3).normal(size=(16, 4)).astype(np.float32)
+        for net in (model, reference):
+            out = net(x)
+            net.zero_grad()
+            net.backward(grad_out)
+        # Last layer gradient is identical (transform applies after it)...
+        np.testing.assert_allclose(
+            model[2].weight.grad, reference[2].weight.grad, rtol=1e-6
+        )
+        # ...but the first layer's gradient has passed through quantization.
+        assert not np.allclose(model[0].weight.grad, reference[0].weight.grad)
+
+    def test_bp_int8_trainer_installs_transform(self, tiny_mnist):
+        train, test = tiny_mnist
+        bundle = build_mlp(input_shape=(1, 14, 14), hidden_layers=1,
+                           hidden_units=16, seed=0)
+        config = make_bp_config("BP-INT8", epochs=1, batch_size=64)
+        trainer = BPTrainer(config)
+        history = trainer.fit(bundle, train, test)
+        model = history.metadata["trained_model"]
+        assert model.inter_layer_grad_transform is not None
+
+    def test_bp_fp32_trainer_does_not_install_transform(self, tiny_mnist):
+        train, test = tiny_mnist
+        bundle = build_mlp(input_shape=(1, 14, 14), hidden_layers=1,
+                           hidden_units=16, seed=0)
+        history = _BPTrainer(BPConfig(epochs=1, batch_size=64)).fit(
+            bundle, train, test
+        )
+        model = history.metadata["trained_model"]
+        assert model.inter_layer_grad_transform is None
+
+    def test_opt_out_flag(self, tiny_mnist):
+        train, test = tiny_mnist
+        bundle = build_mlp(input_shape=(1, 14, 14), hidden_layers=1,
+                           hidden_units=16, seed=0)
+        config = make_bp_config("BP-INT8", epochs=1, batch_size=64,
+                                quantize_backward_signal=False)
+        history = BPTrainer(config).fit(bundle, train, test)
+        assert history.metadata["trained_model"].inter_layer_grad_transform is None
+
+
+class TestStaticScaleDirectInt8:
+    def test_scale_frozen_after_calibration(self):
+        transform = DirectInt8Gradient(static_scale=True, calibration_steps=2)
+        rng = np.random.default_rng(0)
+        large = rng.normal(scale=1.0, size=1000).astype(np.float32)
+        transform("w", large)
+        transform("w", large * 0.5)
+        calibrated = transform._calibrated_scale["w"]
+        transform("w", large * 100.0)  # post-calibration outlier is clipped
+        assert transform._calibrated_scale["w"] == calibrated
+
+    def test_small_late_gradients_flushed_to_zero(self):
+        """Gradients far below the calibrated range quantize to zero —
+        the stalling mechanism behind Table I / Figure 2."""
+        transform = DirectInt8Gradient(static_scale=True, calibration_steps=1)
+        rng = np.random.default_rng(1)
+        transform("w", rng.normal(scale=1.0, size=1000).astype(np.float32))
+        late = rng.normal(scale=1e-4, size=1000).astype(np.float32)
+        quantized = transform("w", late)
+        assert float(np.mean(quantized == 0.0)) > 0.95
+
+    def test_dynamic_mode_tracks_range(self):
+        transform = DirectInt8Gradient(static_scale=False)
+        rng = np.random.default_rng(2)
+        transform("w", rng.normal(scale=1.0, size=1000).astype(np.float32))
+        late = rng.normal(scale=1e-4, size=1000).astype(np.float32)
+        quantized = transform("w", late)
+        # Dynamic abs-max rescaling keeps resolving the small gradients.
+        assert float(np.mean(quantized == 0.0)) < 0.5
+
+    def test_per_tensor_independence(self):
+        transform = DirectInt8Gradient(static_scale=True, calibration_steps=1)
+        transform("a", np.ones(10, dtype=np.float32))
+        transform("b", 100 * np.ones(10, dtype=np.float32))
+        assert transform._calibrated_scale["a"] != transform._calibrated_scale["b"]
+
+    def test_zero_gradient_passthrough(self):
+        transform = DirectInt8Gradient(static_scale=True)
+        zeros = np.zeros(16, dtype=np.float32)
+        np.testing.assert_array_equal(transform("w", zeros), zeros)

@@ -1,0 +1,241 @@
+"""Tests for datasets, loaders, transforms and FF sample construction."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ArrayDataset,
+    CIFAR10_SPEC,
+    Compose,
+    DataLoader,
+    LabelOverlay,
+    MNIST_SPEC,
+    Normalize,
+    RandomCropPad,
+    RandomHorizontalFlip,
+    SyntheticImageGenerator,
+    flatten_images,
+    synthetic_cifar10,
+    synthetic_mnist,
+)
+
+
+class TestArrayDataset:
+    def _dataset(self, n=20):
+        rng = np.random.default_rng(0)
+        return ArrayDataset(
+            images=rng.normal(size=(n, 1, 4, 4)).astype(np.float32),
+            labels=rng.integers(0, 5, size=n),
+            num_classes=5,
+        )
+
+    def test_len_and_getitem(self):
+        ds = self._dataset(12)
+        assert len(ds) == 12
+        image, label = ds[3]
+        assert image.shape == (1, 4, 4)
+        assert 0 <= label < 5
+
+    def test_sample_shape(self):
+        assert self._dataset().sample_shape == (1, 4, 4)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="sample count"):
+            ArrayDataset(np.zeros((3, 2)), np.zeros(4, dtype=int), num_classes=2)
+
+    def test_label_range_check(self):
+        with pytest.raises(ValueError, match="labels out of range"):
+            ArrayDataset(np.zeros((3, 2)), np.array([0, 1, 5]), num_classes=3)
+
+    def test_subset(self):
+        ds = self._dataset(10)
+        sub = ds.subset(np.array([0, 3, 5]))
+        assert len(sub) == 3
+        np.testing.assert_array_equal(sub.labels, ds.labels[[0, 3, 5]])
+
+    def test_split_partitions_everything(self):
+        ds = self._dataset(20)
+        train, test = ds.split(0.75, rng=0)
+        assert len(train) == 15 and len(test) == 5
+
+    def test_split_fraction_validation(self):
+        with pytest.raises(ValueError):
+            self._dataset().split(1.5)
+
+
+class TestDataLoader:
+    def test_batches_cover_dataset(self):
+        ds = ArrayDataset(np.arange(50).reshape(50, 1).astype(np.float32),
+                          np.zeros(50, dtype=int), num_classes=2)
+        loader = DataLoader(ds, batch_size=8, shuffle=True, rng=0)
+        seen = np.concatenate([images.ravel() for images, _ in loader])
+        assert len(loader) == 7
+        np.testing.assert_array_equal(np.sort(seen), np.arange(50))
+
+    def test_drop_last(self):
+        ds = ArrayDataset(np.zeros((50, 1), dtype=np.float32), np.zeros(50, dtype=int), 2)
+        loader = DataLoader(ds, batch_size=8, drop_last=True)
+        assert len(loader) == 6
+        assert sum(labels.shape[0] for _, labels in loader) == 48
+
+    def test_no_shuffle_preserves_order(self):
+        ds = ArrayDataset(np.arange(10).reshape(10, 1).astype(np.float32),
+                          np.arange(10) % 2, num_classes=2)
+        loader = DataLoader(ds, batch_size=4, shuffle=False)
+        first_batch = next(iter(loader))[0]
+        np.testing.assert_array_equal(first_batch.ravel(), [0, 1, 2, 3])
+
+    def test_invalid_batch_size(self):
+        ds = ArrayDataset(np.zeros((4, 1), dtype=np.float32), np.zeros(4, dtype=int), 2)
+        with pytest.raises(ValueError):
+            DataLoader(ds, batch_size=0)
+
+
+class TestSyntheticGenerators:
+    def test_mnist_shapes_and_balance(self):
+        train, test = synthetic_mnist(num_train=100, num_test=40, seed=0)
+        assert train.images.shape == (100, 1, 28, 28)
+        assert test.images.shape == (40, 1, 28, 28)
+        counts = np.bincount(train.labels, minlength=10)
+        assert counts.max() - counts.min() <= 1  # balanced classes
+
+    def test_cifar_shapes(self):
+        train, _ = synthetic_cifar10(num_train=20, num_test=10, seed=0)
+        assert train.images.shape == (20, 3, 32, 32)
+        assert train.num_classes == 10
+
+    def test_reduced_image_size(self):
+        train, _ = synthetic_mnist(num_train=10, num_test=5, seed=0, image_size=14)
+        assert train.images.shape == (10, 1, 14, 14)
+
+    def test_determinism(self):
+        a, _ = synthetic_mnist(num_train=16, num_test=4, seed=5)
+        b, _ = synthetic_mnist(num_train=16, num_test=4, seed=5)
+        np.testing.assert_array_equal(a.images, b.images)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        a, _ = synthetic_mnist(num_train=16, num_test=4, seed=5)
+        b, _ = synthetic_mnist(num_train=16, num_test=4, seed=6)
+        assert not np.allclose(a.images, b.images)
+
+    def test_prototypes_are_class_distinct(self):
+        generator = SyntheticImageGenerator(MNIST_SPEC, seed=0)
+        prototypes = [generator.prototype(c) for c in range(10)]
+        for i in range(10):
+            for j in range(i + 1, 10):
+                assert not np.allclose(prototypes[i], prototypes[j])
+
+    def test_samples_cluster_around_prototype(self):
+        """A sample correlates more with its own prototype than with others."""
+        generator = SyntheticImageGenerator(CIFAR10_SPEC, seed=1)
+        own, other = [], []
+        for label in range(10):
+            sample = generator.sample(label, rng=np.random.default_rng(label))
+            own.append(float(np.sum(sample * generator.prototype(label))))
+            other.append(float(np.sum(sample * generator.prototype((label + 1) % 10))))
+        assert np.mean(own) > np.mean(other)
+
+    def test_values_bounded(self):
+        train, _ = synthetic_cifar10(num_train=10, num_test=5, seed=0)
+        assert train.images.min() >= 0.0
+        assert train.images.max() <= 1.5
+
+    def test_invalid_sample_count(self):
+        generator = SyntheticImageGenerator(MNIST_SPEC, seed=0)
+        with pytest.raises(ValueError):
+            generator.dataset(0)
+
+
+class TestTransforms:
+    def test_normalize(self):
+        batch = np.ones((4, 3, 2, 2), dtype=np.float32)
+        normalize = Normalize(mean=[1.0, 1.0, 1.0], std=[2.0, 2.0, 2.0])
+        np.testing.assert_allclose(normalize(batch), 0.0)
+
+    def test_normalize_rejects_zero_std(self):
+        with pytest.raises(ValueError):
+            Normalize([0.0], [0.0])
+
+    def test_flip_probability_one_reverses(self):
+        batch = np.arange(8, dtype=np.float32).reshape(1, 1, 2, 4)
+        flip = RandomHorizontalFlip(p=1.0, rng=0)
+        np.testing.assert_array_equal(flip(batch), batch[:, :, :, ::-1])
+
+    def test_flip_probability_zero_identity(self):
+        batch = np.random.default_rng(0).normal(size=(3, 1, 4, 4)).astype(np.float32)
+        np.testing.assert_array_equal(RandomHorizontalFlip(p=0.0)(batch), batch)
+
+    def test_crop_pad_preserves_shape(self):
+        batch = np.random.default_rng(1).normal(size=(5, 3, 8, 8)).astype(np.float32)
+        out = RandomCropPad(padding=2, rng=0)(batch)
+        assert out.shape == batch.shape
+
+    def test_compose_order(self):
+        batch = np.full((1, 1, 2, 2), 4.0, dtype=np.float32)
+        pipeline = Compose([Normalize([0.0], [2.0]), lambda b: b + 1.0])
+        np.testing.assert_allclose(pipeline(batch), 3.0)
+
+    def test_flatten_images(self):
+        assert flatten_images(np.zeros((4, 3, 8, 8))).shape == (4, 192)
+
+
+class TestLabelOverlay:
+    def test_flat_positive_embeds_one_hot(self):
+        overlay = LabelOverlay(num_classes=4, amplitude=2.0)
+        x = np.zeros((3, 20), dtype=np.float32)
+        out = overlay.positive(x, np.array([1, 0, 3]))
+        np.testing.assert_array_equal(out[0, :4], [0, 2.0, 0, 0])
+        np.testing.assert_array_equal(out[2, :4], [0, 0, 0, 2.0])
+        assert np.all(out[:, 4:] == 0)
+
+    def test_image_positive_embeds_first_row(self):
+        overlay = LabelOverlay(num_classes=10)
+        x = np.zeros((2, 3, 8, 16), dtype=np.float32)
+        out = overlay.positive(x, np.array([5, 9]))
+        assert out[0, 0, 0, 5] == 1.0
+        assert out[1, 0, 0, 9] == 1.0
+        assert out[:, 1:].sum() == 0.0
+
+    def test_original_not_modified(self):
+        overlay = LabelOverlay(num_classes=4)
+        x = np.zeros((2, 10), dtype=np.float32)
+        overlay.positive(x, np.array([1, 2]))
+        assert x.sum() == 0.0
+
+    def test_negative_labels_always_wrong(self):
+        overlay = LabelOverlay(num_classes=10)
+        labels = np.arange(10).repeat(20)
+        x = np.zeros((200, 20), dtype=np.float32)
+        _, wrong = overlay.negative(x, labels, rng=0)
+        assert np.all(wrong != labels)
+        assert np.all((wrong >= 0) & (wrong < 10))
+
+    def test_neutral_uniform(self):
+        overlay = LabelOverlay(num_classes=4, amplitude=2.0)
+        out = overlay.neutral(np.zeros((1, 10), dtype=np.float32))
+        np.testing.assert_allclose(out[0, :4], 0.5)
+
+    def test_candidates_shape_and_content(self):
+        overlay = LabelOverlay(num_classes=3)
+        x = np.zeros((2, 12), dtype=np.float32)
+        candidates = overlay.candidates(x)
+        assert candidates.shape == (3, 2, 12)
+        for label in range(3):
+            assert np.all(candidates[label, :, label] == 1.0)
+
+    def test_too_few_features(self):
+        overlay = LabelOverlay(num_classes=10)
+        with pytest.raises(ValueError, match="at least 10"):
+            overlay.positive(np.zeros((1, 5), dtype=np.float32), np.array([0]))
+
+    def test_batch_mismatch(self):
+        overlay = LabelOverlay(num_classes=3)
+        with pytest.raises(ValueError, match="batch mismatch"):
+            overlay.positive(np.zeros((2, 12), dtype=np.float32), np.array([0]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LabelOverlay(num_classes=1)
+        with pytest.raises(ValueError):
+            LabelOverlay(num_classes=5, amplitude=0.0)

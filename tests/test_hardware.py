@@ -1,0 +1,254 @@
+"""Tests for the Jetson Orin Nano hardware model (profiling, cost, memory)."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import (
+    DEFAULT_COSTS,
+    JETSON_ORIN_NANO,
+    HardwareModel,
+    MemoryBreakdown,
+    PAPER_TABLE4,
+    TrainingCostModel,
+    build_table5_summary,
+    estimate_memory,
+    profile_bundle,
+    table4_op_counts,
+)
+from repro.hardware.estimator import PAPER_TABLE5_ACCURACY, TABLE5_EPOCHS
+from repro.models import build_mlp, build_model
+from repro.training import ALL_ALGORITHMS
+
+
+@pytest.fixture(scope="module")
+def mlp_profile():
+    bundle = build_mlp(input_shape=(1, 28, 28), hidden_layers=2, hidden_units=500)
+    return profile_bundle(bundle, batch_size=2)
+
+
+@pytest.fixture(scope="module")
+def resnet_mini_profile():
+    return profile_bundle(build_model("resnet18-mini"), batch_size=2)
+
+
+class TestDeviceSpec:
+    def test_table3_values(self):
+        assert JETSON_ORIN_NANO.memory_gb == 4.0
+        assert JETSON_ORIN_NANO.ai_performance_tops == 20.0
+        assert JETSON_ORIN_NANO.has_int8_engine
+        assert "Ampere" in JETSON_ORIN_NANO.gpu
+
+    def test_int8_mac_faster_than_fp32(self):
+        hw = HardwareModel()
+        assert hw.mac_time("int8") < hw.mac_time("fp32")
+        assert hw.mac_time("fp32", backward=True) > hw.mac_time("fp32")
+
+    def test_unknown_precision(self):
+        hw = HardwareModel()
+        with pytest.raises(ValueError):
+            hw.mac_time("fp16")
+        with pytest.raises(ValueError):
+            hw.mac_power("fp16")
+
+    def test_traffic_time_linear(self):
+        hw = HardwareModel()
+        assert hw.traffic_time(2e9) == pytest.approx(2 * hw.traffic_time(1e9))
+
+
+class TestProfiler:
+    def test_mlp_macs_match_hand_count(self, mlp_profile):
+        expected = 784 * 500 + 500 * 500 + 500 * 10
+        assert mlp_profile.forward_macs == pytest.approx(expected, rel=1e-6)
+
+    def test_mlp_parameters(self, mlp_profile):
+        expected = 784 * 500 + 500 + 500 * 500 + 500 + 500 * 10 + 10
+        assert mlp_profile.total_parameters == expected
+
+    def test_layer_records_present(self, mlp_profile):
+        assert len(mlp_profile.layers) == 3
+        assert all(layer.kind == "Linear" for layer in mlp_profile.layers)
+
+    def test_batch_size_invariance(self):
+        bundle = build_mlp(hidden_layers=1, hidden_units=32)
+        p1 = profile_bundle(bundle, batch_size=1)
+        p4 = profile_bundle(bundle, batch_size=4)
+        assert p1.forward_macs == pytest.approx(p4.forward_macs, rel=1e-6)
+        assert p1.total_activation_elements == pytest.approx(
+            p4.total_activation_elements, rel=1e-6
+        )
+
+    def test_conv_model_profile(self, resnet_mini_profile):
+        assert resnet_mini_profile.forward_macs > 1e5
+        assert resnet_mini_profile.total_activation_elements > 0
+        kinds = {layer.kind for layer in resnet_mini_profile.layers}
+        assert "Conv2d" in kinds
+
+    def test_profile_does_not_break_model(self):
+        bundle = build_mlp(hidden_layers=1, hidden_units=16)
+        profile_bundle(bundle, batch_size=1)
+        out = bundle.bp_model()(np.zeros((2, 784), dtype=np.float32))
+        assert out.shape == (2, 10)
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            profile_bundle(build_mlp(hidden_layers=0, hidden_units=8), batch_size=0)
+
+    def test_as_dict(self, mlp_profile):
+        payload = mlp_profile.as_dict()
+        assert payload["forward_macs"] == mlp_profile.forward_macs
+        assert payload["num_profiled_layers"] == 3
+
+
+class TestMemoryModel:
+    def test_bp_stores_more_than_ff(self, resnet_mini_profile):
+        bp = estimate_memory(resnet_mini_profile, batch_size=32, stores_graph=True,
+                             mac_precision="fp32")
+        ff = estimate_memory(resnet_mini_profile, batch_size=32, stores_graph=False,
+                             mac_precision="int8", lookahead=True)
+        assert ff.total_mb < bp.total_mb
+        assert ff.activations_mb < bp.activations_mb
+
+    def test_int8_weights_add_shadow_copy(self, mlp_profile):
+        fp32 = estimate_memory(mlp_profile, 32, stores_graph=True, mac_precision="fp32")
+        int8 = estimate_memory(mlp_profile, 32, stores_graph=True, mac_precision="int8")
+        assert int8.weights_mb > fp32.weights_mb
+        # ... but the overall footprint still shrinks (activations + workspace).
+        assert int8.total_mb < fp32.total_mb
+
+    def test_optimizer_state_scales(self, mlp_profile):
+        sgd = estimate_memory(mlp_profile, 32, True, "fp32", optimizer_state_per_param=1)
+        adam = estimate_memory(mlp_profile, 32, True, "fp32", optimizer_state_per_param=2)
+        assert adam.optimizer_mb == pytest.approx(2 * sgd.optimizer_mb)
+
+    def test_batch_size_scales_activations(self, resnet_mini_profile):
+        small = estimate_memory(resnet_mini_profile, 8, True, "fp32")
+        large = estimate_memory(resnet_mini_profile, 64, True, "fp32")
+        assert large.activations_mb == pytest.approx(8 * small.activations_mb, rel=1e-6)
+
+    def test_breakdown_total(self):
+        breakdown = MemoryBreakdown(1.0, 2.0, 3.0, 4.0, 5.0)
+        assert breakdown.total_mb == 15.0
+        assert breakdown.as_dict()["total_mb"] == 15.0
+
+
+class TestCostModel:
+    def test_estimates_positive_and_structured(self, mlp_profile):
+        model = TrainingCostModel()
+        estimate = model.estimate(mlp_profile, "BP-FP32", epochs=10,
+                                  dataset_size=1000, batch_size=32)
+        assert estimate.time_s > 0
+        assert estimate.energy_j > 0
+        assert estimate.memory_mb > 0
+        assert estimate.breakdown.total_time_s == pytest.approx(estimate.time_s)
+        assert 2.0 < estimate.average_power_w < 10.0
+
+    def test_int8_faster_than_fp32(self, mlp_profile):
+        model = TrainingCostModel()
+        fp32 = model.estimate(mlp_profile, "BP-FP32", epochs=10, dataset_size=5000)
+        int8 = model.estimate(mlp_profile, "BP-INT8", epochs=10, dataset_size=5000)
+        assert int8.time_s < fp32.time_s
+        assert int8.energy_j < fp32.energy_j
+        # The speedup is well below the 4x MAC-engine ratio (Table V shows
+        # ~1.4-1.5x) because per-layer kernel overheads do not shrink 4x.
+        assert fp32.time_s / int8.time_s < 2.5
+
+    def test_ff_int8_beats_gdai8_despite_more_epochs(self, mlp_profile):
+        model = TrainingCostModel()
+        gdai8 = model.estimate(mlp_profile, "BP-GDAI8", epochs=30, dataset_size=10000)
+        ff = model.estimate(mlp_profile, "FF-INT8", epochs=36, dataset_size=10000)
+        assert ff.time_s < gdai8.time_s
+        assert ff.energy_j < gdai8.energy_j
+        assert ff.memory_mb < gdai8.memory_mb
+
+    def test_epochs_scale_time(self, mlp_profile):
+        model = TrainingCostModel()
+        short = model.estimate(mlp_profile, "BP-FP32", epochs=5, dataset_size=1000)
+        long = model.estimate(mlp_profile, "BP-FP32", epochs=10, dataset_size=1000)
+        assert long.time_s == pytest.approx(2 * short.time_s, rel=1e-6)
+
+    def test_compare_covers_all_algorithms(self, mlp_profile):
+        estimates = TrainingCostModel().compare(mlp_profile, dataset_size=1000)
+        assert set(estimates) == set(ALL_ALGORITHMS)
+
+    def test_invalid_schedule(self, mlp_profile):
+        with pytest.raises(ValueError):
+            TrainingCostModel().estimate(mlp_profile, "BP-FP32", epochs=0)
+
+    def test_as_dict(self, mlp_profile):
+        estimate = TrainingCostModel().estimate(mlp_profile, "FF-INT8",
+                                                dataset_size=1000)
+        payload = estimate.as_dict()
+        assert payload["algorithm"] == "FF-INT8"
+        assert "breakdown" in payload and "memory_breakdown" in payload
+
+
+class TestTable4:
+    def test_op_counts_structure(self):
+        bundle = build_mlp(input_shape=(1, 28, 28), hidden_layers=3, hidden_units=500)
+        profile = profile_bundle(bundle, batch_size=1)
+        counts = table4_op_counts(profile, batch_size=10)
+        assert set(counts) == {"FF-INT8", "BP-FP32", "BP-GDAI8"}
+        # FF-INT8 step uses INT8 MACs only; BP-FP32 uses FP32 MACs only.
+        assert counts["FF-INT8"]["mac_fp32_mul"] == 0
+        assert counts["BP-FP32"]["mac_int8_mul"] == 0
+        assert counts["BP-FP32"]["quant_fp32_cmp"] == 0
+
+    def test_ff_step_much_cheaper_than_bp_step(self):
+        """The headline of Table IV: an FF-INT8 training step needs a small
+        fraction of the MAC operations of a BP step (and they are 8-bit)."""
+        bundle = build_mlp(input_shape=(1, 28, 28), hidden_layers=3, hidden_units=500)
+        profile = profile_bundle(bundle, batch_size=1)
+        counts = table4_op_counts(profile, batch_size=10)
+        ratio = counts["FF-INT8"]["mac_int8_mul"] / counts["BP-FP32"]["mac_fp32_mul"]
+        assert ratio < 0.35
+
+    def test_quantization_phase_negligible(self):
+        bundle = build_mlp(input_shape=(1, 28, 28), hidden_layers=3, hidden_units=500)
+        profile = profile_bundle(bundle, batch_size=1)
+        counts = table4_op_counts(profile, batch_size=10)
+        assert counts["FF-INT8"]["quant_fp32_cmp"] < 0.01 * counts["FF-INT8"]["mac_int8_mul"]
+
+    def test_paper_reference_values_present(self):
+        assert PAPER_TABLE4["FF-INT8"]["mac_int8_mul"] == pytest.approx(23.8e6)
+        assert PAPER_TABLE4["BP-FP32"]["mac_fp32_mul"] == pytest.approx(898.2e6)
+
+    def test_layer_index_validation(self):
+        profile = profile_bundle(build_mlp(hidden_layers=1, hidden_units=16), 1)
+        with pytest.raises(ValueError):
+            table4_op_counts(profile, ff_layer_index=10)
+
+
+class TestTable5Summary:
+    @pytest.fixture(scope="class")
+    def summary(self):
+        # MLP only keeps this test fast; the full sweep runs in the benchmark.
+        return build_table5_summary(models=["MLP"])
+
+    def test_rows_cover_all_algorithms(self, summary):
+        assert len(summary.rows) == len(ALL_ALGORITHMS)
+        assert {row.algorithm for row in summary.rows} == set(ALL_ALGORITHMS)
+
+    def test_paper_accuracy_attached(self, summary):
+        by_algorithm = {row.algorithm: row for row in summary.rows}
+        assert by_algorithm["BP-FP32"].paper_accuracy == 94.5
+        assert by_algorithm["FF-INT8"].paper_accuracy == 94.3
+
+    def test_ff_int8_saves_vs_gdai8(self, summary):
+        savings = summary.relative_savings("BP-GDAI8")
+        assert savings["time"] > 0
+        assert savings["energy"] > 0
+        assert savings["memory"] > 0
+
+    def test_ff_int8_saves_vs_fp32(self, summary):
+        savings = summary.relative_savings("BP-FP32")
+        assert savings["time"] > 10
+        assert savings["memory"] > 10
+
+    def test_paper_reference_tables_consistent(self):
+        for model_row, accuracies in PAPER_TABLE5_ACCURACY.items():
+            assert set(accuracies) == set(ALL_ALGORITHMS)
+        assert set(TABLE5_EPOCHS) == set(ALL_ALGORITHMS)
+
+    def test_rows_for_model(self, summary):
+        assert len(summary.rows_for_model("MLP")) == len(ALL_ALGORITHMS)
+        assert summary.rows_for_model("ResNet-18") == []

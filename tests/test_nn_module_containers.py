@@ -1,0 +1,191 @@
+"""Tests for the Module base class, containers and residual/SE blocks."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Identity,
+    Linear,
+    Module,
+    Parameter,
+    ReLU,
+    ResidualAdd,
+    Sequential,
+    Sigmoid,
+    SqueezeExcite,
+    chain,
+)
+from repro.nn.conv import Conv2d
+from repro.nn.norm import BatchNorm2d
+from tests.gradcheck import check_input_gradient, check_parameter_gradients
+
+
+class TestParameter:
+    def test_accumulate_grad(self):
+        param = Parameter(np.zeros((2, 3)), name="w")
+        param.accumulate_grad(np.ones((2, 3)))
+        param.accumulate_grad(np.ones((2, 3)))
+        np.testing.assert_array_equal(param.grad, 2 * np.ones((2, 3)))
+
+    def test_accumulate_shape_mismatch(self):
+        param = Parameter(np.zeros((2, 3)))
+        with pytest.raises(ValueError, match="shape"):
+            param.accumulate_grad(np.ones((3, 2)))
+
+    def test_requires_grad_false_skips_accumulation(self):
+        param = Parameter(np.zeros(3), requires_grad=False)
+        param.accumulate_grad(np.ones(3))
+        assert param.grad is None
+
+    def test_copy_checks_shape(self):
+        param = Parameter(np.zeros((2, 2)))
+        with pytest.raises(ValueError, match="cannot copy"):
+            param.copy_(np.zeros((3, 3)))
+
+    def test_nbytes(self):
+        param = Parameter(np.zeros((10, 10)))
+        assert param.nbytes() == 400
+        assert param.nbytes(bytes_per_element=1) == 100
+
+
+class TestModule:
+    def test_parameter_and_module_registration(self):
+        model = Sequential(Linear(4, 3, rng=0), ReLU(), Linear(3, 2, rng=0))
+        names = [name for name, _ in model.named_parameters()]
+        assert names == ["0.weight", "0.bias", "2.weight", "2.bias"]
+        assert model.num_parameters() == 4 * 3 + 3 + 3 * 2 + 2
+
+    def test_train_eval_propagates(self):
+        model = Sequential(Linear(4, 3, rng=0), ReLU())
+        model.eval()
+        assert all(not module.training for module in model.modules())
+        model.train()
+        assert all(module.training for module in model.modules())
+
+    def test_state_dict_round_trip(self):
+        model = Sequential(Linear(4, 3, rng=0), ReLU(), Linear(3, 2, rng=1))
+        state = model.state_dict()
+        other = Sequential(Linear(4, 3, rng=5), ReLU(), Linear(3, 2, rng=6))
+        other.load_state_dict(state)
+        x = np.random.default_rng(0).normal(size=(2, 4)).astype(np.float32)
+        np.testing.assert_allclose(model(x), other(x), rtol=1e-6)
+
+    def test_state_dict_mismatch_raises(self):
+        model = Sequential(Linear(4, 3, rng=0))
+        with pytest.raises(KeyError, match="mismatch"):
+            model.load_state_dict({"bogus": np.zeros(3)})
+
+    def test_zero_grad_clears(self):
+        layer = Linear(4, 2, rng=0)
+        layer(np.ones((2, 4), dtype=np.float32))
+        layer.backward(np.ones((2, 2), dtype=np.float32))
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_cached_activation_bytes_and_clear(self):
+        layer = Linear(4, 2, rng=0)
+        layer(np.ones((8, 4), dtype=np.float32))
+        assert layer.cached_activation_bytes() == 8 * 4 * 4
+        layer.clear_cache()
+        assert layer.cached_activation_bytes() == 0
+
+    def test_disable_activation_caching(self):
+        layer = Linear(4, 2, rng=0)
+        layer.set_activation_caching(False)
+        layer(np.ones((8, 4), dtype=np.float32))
+        assert layer.cached_activation_bytes() == 0
+
+    def test_identity_passthrough(self):
+        layer = Identity()
+        x = np.random.default_rng(0).normal(size=(3, 3)).astype(np.float32)
+        np.testing.assert_array_equal(layer(x), x)
+        np.testing.assert_array_equal(layer.backward(x), x)
+
+    def test_repr_contains_children(self):
+        model = Sequential(Linear(4, 3, rng=0), ReLU())
+        text = repr(model)
+        assert "Linear" in text and "ReLU" in text
+
+
+class TestSequential:
+    def test_forward_backward_order(self):
+        model = Sequential(Linear(5, 4, rng=0), ReLU(), Linear(4, 3, rng=1))
+        x = np.random.default_rng(1).normal(size=(3, 5))
+        check_input_gradient(model, x)
+        check_parameter_gradients(model, x)
+
+    def test_len_iter_getitem(self):
+        layers = [Linear(4, 4, rng=0), ReLU()]
+        model = chain(layers)
+        assert len(model) == 2
+        assert list(model)[1] is layers[1]
+        assert model[0] is layers[0]
+
+    def test_append_custom_name(self):
+        model = Sequential()
+        model.append(Linear(2, 2, rng=0), name="proj")
+        assert "proj.weight" in dict(model.named_parameters())
+
+
+class TestResidualAdd:
+    def test_identity_shortcut_output(self):
+        branch = Sequential(Linear(6, 6, rng=0), ReLU())
+        block = ResidualAdd(branch)
+        x = np.random.default_rng(2).normal(size=(4, 6)).astype(np.float32)
+        np.testing.assert_allclose(block(x), branch(x) + x, rtol=1e-5)
+
+    def test_input_gradient_identity_shortcut(self):
+        block = ResidualAdd(Sequential(Linear(5, 5, rng=0), ReLU()))
+        x = np.random.default_rng(3).normal(size=(3, 5))
+        check_input_gradient(block, x)
+
+    def test_input_gradient_projection_shortcut(self):
+        branch = Sequential(Conv2d(2, 4, 3, stride=2, padding=1, rng=0), BatchNorm2d(4))
+        shortcut = Conv2d(2, 4, 1, stride=2, rng=1)
+        block = ResidualAdd(branch, shortcut)
+        x = np.random.default_rng(4).normal(size=(2, 2, 6, 6))
+        check_input_gradient(block, x, rtol=2e-2, atol=2e-3)
+
+    def test_parameter_gradients(self):
+        block = ResidualAdd(Sequential(Linear(4, 4, rng=0), ReLU()))
+        x = np.random.default_rng(5).normal(size=(3, 4))
+        check_parameter_gradients(block, x)
+
+
+class TestSqueezeExcite:
+    def _block(self, channels=3, reduced=2):
+        gate = Sequential(
+            Linear(channels, reduced, rng=0),
+            ReLU(),
+            Linear(reduced, channels, rng=1),
+            Sigmoid(),
+        )
+        return SqueezeExcite(gate)
+
+    def test_output_shape(self):
+        block = self._block()
+        x = np.random.default_rng(6).normal(size=(2, 3, 4, 4)).astype(np.float32)
+        assert block(x).shape == x.shape
+
+    def test_gate_bounds_scaling(self):
+        block = self._block()
+        x = np.abs(np.random.default_rng(7).normal(size=(2, 3, 4, 4))).astype(np.float32)
+        out = block(x)
+        assert np.all(out <= x + 1e-6)
+        assert np.all(out >= 0.0)
+
+    def test_input_gradient(self):
+        block = self._block(channels=2, reduced=2)
+        x = np.random.default_rng(8).normal(size=(2, 2, 3, 3))
+        check_input_gradient(block, x, rtol=2e-2, atol=2e-3)
+
+    def test_parameter_gradients(self):
+        block = self._block(channels=2, reduced=2)
+        x = np.random.default_rng(9).normal(size=(2, 2, 3, 3))
+        check_parameter_gradients(block, x, rtol=2e-2, atol=2e-3)
+
+    def test_rejects_non_4d(self):
+        block = self._block()
+        with pytest.raises(ValueError, match="SqueezeExcite"):
+            block(np.zeros((2, 3), dtype=np.float32))

@@ -1,0 +1,189 @@
+"""Tests for the softmax readout head, FF checkpointing and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core import (
+    FFInt8Config,
+    FFInt8Trainer,
+    ReadoutConfig,
+    SoftmaxReadout,
+    load_ff_checkpoint,
+    restore_classifier,
+    restore_units,
+    save_ff_checkpoint,
+)
+from repro.data import LabelOverlay
+from repro.models import build_mlp
+
+
+@pytest.fixture(scope="module")
+def trained_ff_run(tiny_mnist_module):
+    """One FF-INT8 training run shared by the readout/checkpoint tests."""
+    train, test = tiny_mnist_module
+    bundle = build_mlp(input_shape=(1, 14, 14), hidden_layers=2,
+                       hidden_units=48, seed=0)
+    config = FFInt8Config(epochs=12, batch_size=64, lr=0.02,
+                          overlay_amplitude=2.0, evaluate_every=12,
+                          eval_max_samples=96, train_eval_max_samples=32, seed=0)
+    history = FFInt8Trainer(config).fit(bundle, train, test)
+    return bundle, config, history
+
+
+@pytest.fixture(scope="module")
+def tiny_mnist_module():
+    from repro.data import synthetic_mnist
+
+    return synthetic_mnist(num_train=256, num_test=96, seed=7, image_size=14)
+
+
+class TestSoftmaxReadout:
+    def test_features_shape_and_normalization(self, trained_ff_run, tiny_mnist_module):
+        _, config, history = trained_ff_run
+        train, _ = tiny_mnist_module
+        units = history.metadata["units"]
+        readout = SoftmaxReadout(
+            units, LabelOverlay(10, amplitude=config.overlay_amplitude),
+            num_classes=10, flatten_input=True,
+            config=ReadoutConfig(normalize_features=True),
+        )
+        feats = readout.features(train.images[:8])
+        assert feats.shape == (8, 48)  # first unit skipped, second has 48 units
+        norms = np.linalg.norm(feats, axis=1)
+        np.testing.assert_allclose(norms, 1.0, atol=1e-3)
+
+    def test_fit_and_accuracy_beats_chance(self, trained_ff_run, tiny_mnist_module):
+        _, config, history = trained_ff_run
+        train, test = tiny_mnist_module
+        units = history.metadata["units"]
+        readout = SoftmaxReadout(
+            units, LabelOverlay(10, amplitude=config.overlay_amplitude),
+            num_classes=10, flatten_input=True,
+            config=ReadoutConfig(epochs=15, lr=0.2, seed=0),
+        )
+        losses = readout.fit(train)
+        assert losses[-1] < losses[0]
+        assert readout.accuracy(test) > 0.2  # chance is 0.1
+
+    def test_predict_requires_fit(self, trained_ff_run):
+        _, config, history = trained_ff_run
+        readout = SoftmaxReadout(
+            history.metadata["units"], LabelOverlay(10), num_classes=10,
+            flatten_input=True,
+        )
+        with pytest.raises(RuntimeError, match="fit"):
+            readout.predict(np.zeros((2, 1, 14, 14), dtype=np.float32))
+
+    def test_requires_units(self):
+        with pytest.raises(ValueError):
+            SoftmaxReadout([], LabelOverlay(10), num_classes=10)
+
+    def test_skip_first_layer_override(self, trained_ff_run, tiny_mnist_module):
+        _, config, history = trained_ff_run
+        train, _ = tiny_mnist_module
+        readout = SoftmaxReadout(
+            history.metadata["units"],
+            LabelOverlay(10, amplitude=config.overlay_amplitude),
+            num_classes=10, flatten_input=True,
+            config=ReadoutConfig(skip_first_layer=False),
+        )
+        feats = readout.features(train.images[:4])
+        assert feats.shape == (4, 96)  # both 48-unit layers concatenated
+
+
+class TestFFCheckpoint:
+    def test_round_trip_preserves_classifier(self, trained_ff_run,
+                                             tiny_mnist_module, tmp_path):
+        bundle, config, history = trained_ff_run
+        _, test = tiny_mnist_module
+        units = history.metadata["units"]
+        classifier = history.metadata["classifier"]
+        reference_accuracy = classifier.accuracy(test, max_samples=64)
+
+        path = save_ff_checkpoint(units, bundle, config, tmp_path / "run")
+        assert path.exists()
+        checkpoint = load_ff_checkpoint(path)
+        assert checkpoint.num_units == len(units)
+
+        fresh_bundle = build_mlp(input_shape=(1, 14, 14), hidden_layers=2,
+                                 hidden_units=48, seed=123)
+        restored = restore_classifier(checkpoint, fresh_bundle)
+        restored_units = restored.units
+
+        # Parameters are restored bit-exactly.
+        for index, unit in enumerate(units):
+            for (name, original), (_, loaded) in zip(
+                unit.named_parameters(), restored_units[index].named_parameters()
+            ):
+                np.testing.assert_array_equal(original.data, loaded.data,
+                                              err_msg=f"unit{index}.{name}")
+
+        # The restored classifier runs in FP32 (no INT8 engines attached), so
+        # its accuracy may differ slightly from the INT8-evaluated original;
+        # it must stay close.
+        assert restored.accuracy(test, max_samples=64) == pytest.approx(
+            reference_accuracy, abs=0.08
+        )
+
+    def test_metadata_contents(self, trained_ff_run, tmp_path):
+        bundle, config, history = trained_ff_run
+        path = save_ff_checkpoint(history.metadata["units"], bundle, config,
+                                  tmp_path / "meta_run")
+        checkpoint = load_ff_checkpoint(path)
+        assert checkpoint.metadata["theta"] == config.theta
+        assert checkpoint.metadata["int8"] is True
+        assert checkpoint.metadata["model_name"] == bundle.name
+
+    def test_unit_count_mismatch_rejected(self, trained_ff_run, tmp_path):
+        bundle, config, history = trained_ff_run
+        path = save_ff_checkpoint(history.metadata["units"], bundle, config,
+                                  tmp_path / "mismatch_run")
+        checkpoint = load_ff_checkpoint(path)
+        wrong_bundle = build_mlp(input_shape=(1, 14, 14), hidden_layers=3,
+                                 hidden_units=48, seed=0)
+        with pytest.raises(ValueError, match="mismatch"):
+            restore_units(checkpoint, wrong_bundle)
+
+
+class TestCLI:
+    def test_models_command(self, capsys):
+        assert main(["models"]) == 0
+        output = capsys.readouterr().out
+        assert "mlp" in output and "resnet18" in output
+
+    def test_train_command_bp(self, capsys, tmp_path):
+        summary_path = tmp_path / "run.json"
+        code = main([
+            "train", "--model", "mlp-mini", "--algorithm", "BP-FP32",
+            "--epochs", "2", "--train-samples", "128", "--test-samples", "48",
+            "--image-size", "14", "--output", str(summary_path),
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "final test accuracy" in output
+        assert summary_path.exists()
+
+    def test_train_command_ff_int8(self, capsys):
+        code = main([
+            "train", "--model", "mlp-mini", "--algorithm", "FF-INT8",
+            "--epochs", "2", "--train-samples", "96", "--test-samples", "32",
+            "--image-size", "14",
+        ])
+        assert code == 0
+        assert "FF-INT8" not in ""  # smoke: command completed
+        assert "final test accuracy" in capsys.readouterr().out
+
+    def test_estimate_command(self, capsys):
+        assert main(["estimate", "--model", "mlp", "--dataset-size", "1000"]) == 0
+        output = capsys.readouterr().out
+        assert "FF-INT8" in output and "memory (MB)" in output
+
+    def test_parser_rejects_unknown_algorithm(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["train", "--algorithm", "BP-FP16"])
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
