@@ -1,0 +1,157 @@
+"""Experiment S1 — serving: single-sample vs batched INT8 inference.
+
+The paper trains in INT8 so the result can be *deployed*; this benchmark
+measures what deployment buys.  A small MLP is trained with FF-INT8, frozen
+into an inference artifact, and then served three ways over the same request
+stream:
+
+* ``single``   — one engine call per request (the naive serving loop),
+* ``batched``  — direct engine calls on full batches,
+* ``queued``   — the micro-batching request queue (burst-submitted clients).
+
+Batched execution must be at least 3x the single-sample throughput; latency
+percentiles (p50/p95/p99) are reported for every mode.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks._common import emit, run_once, save_experiment
+from repro.analysis import ExperimentResult, format_table
+from repro.core import FFInt8Config, FFInt8Trainer
+from repro.models import build_mlp
+from repro.serve import (
+    MicroBatcher,
+    ServeConfig,
+    build_engine,
+    export_artifact,
+    latency_percentiles,
+)
+
+TRAIN_EPOCHS = 6
+REQUESTS = 256
+ENGINE_BATCH = 64
+
+
+def _train_and_freeze(bench_mnist):
+    train_set, test_set = bench_mnist
+    bundle = build_mlp(input_shape=(1, 14, 14), hidden_layers=2,
+                       hidden_units=64, seed=0)
+    config = FFInt8Config(epochs=TRAIN_EPOCHS, batch_size=64, lr=0.02,
+                          overlay_amplitude=2.0, evaluate_every=TRAIN_EPOCHS,
+                          eval_max_samples=96, seed=0)
+    history = FFInt8Trainer(config).fit(bundle, train_set, test_set)
+    artifact = export_artifact(
+        history.metadata["units"], bundle, goodness=config.goodness,
+        overlay_amplitude=config.overlay_amplitude, theta=config.theta,
+    )
+    engine = build_engine(
+        artifact,
+        build_mlp(input_shape=(1, 14, 14), hidden_layers=2, hidden_units=64,
+                  seed=1),
+    )
+    return engine, test_set, history
+
+
+def _measure(bench_mnist):
+    engine, test_set, history = _train_and_freeze(bench_mnist)
+    stream = test_set.images[np.arange(REQUESTS) % len(test_set.images)]
+    engine.predict(stream[:ENGINE_BATCH])  # warm-up
+
+    # Naive serving loop: one request per engine call.
+    latencies = []
+    started = time.perf_counter()
+    for sample in stream:
+        call_started = time.perf_counter()
+        engine.predict(sample[None])
+        latencies.append(1000.0 * (time.perf_counter() - call_started))
+    single = {
+        "throughput_rps": REQUESTS / (time.perf_counter() - started),
+        **latency_percentiles(latencies),
+    }
+
+    # Direct batched engine calls.
+    latencies = []
+    started = time.perf_counter()
+    for begin in range(0, REQUESTS, ENGINE_BATCH):
+        call_started = time.perf_counter()
+        engine.predict(stream[begin:begin + ENGINE_BATCH])
+        batch_ms = 1000.0 * (time.perf_counter() - call_started)
+        latencies.extend([batch_ms] * ENGINE_BATCH)
+    batched = {
+        "throughput_rps": REQUESTS / (time.perf_counter() - started),
+        **latency_percentiles(latencies),
+    }
+
+    # Micro-batching queue with burst-submitted single-sample clients.
+    config = ServeConfig(max_batch_size=ENGINE_BATCH, max_wait_ms=2.0,
+                         cache_capacity=0, dedup_inflight=False)
+    with MicroBatcher(engine, config) as batcher:
+        started = time.perf_counter()
+        labels = batcher.predict_many(list(stream))
+        queued_elapsed = time.perf_counter() - started
+    snapshot = batcher.metrics.snapshot()
+    queued = {
+        "throughput_rps": REQUESTS / queued_elapsed,
+        "p50": snapshot["p50"], "p95": snapshot["p95"],
+        "p99": snapshot["p99"],
+        "mean_batch_size": snapshot["mean_batch_size"],
+    }
+    assert np.array_equal(labels, engine.predict(stream))
+
+    return {
+        "single": single,
+        "batched": batched,
+        "queued": queued,
+        "accuracy": history.final_test_accuracy,
+    }
+
+
+@pytest.mark.benchmark(group="serve")
+def test_serve_throughput(benchmark, bench_mnist):
+    measured = run_once(benchmark, lambda: _measure(bench_mnist))
+
+    rows = [
+        [mode,
+         measured[mode]["throughput_rps"],
+         measured[mode]["p50"], measured[mode]["p95"], measured[mode]["p99"]]
+        for mode in ("single", "batched", "queued")
+    ]
+    emit("")
+    emit(format_table(
+        ["mode", "throughput (req/s)", "p50 (ms)", "p95 (ms)", "p99 (ms)"],
+        rows,
+        title=f"INT8 serving throughput ({REQUESTS} requests, "
+              f"batch={ENGINE_BATCH})",
+        float_format="{:.2f}",
+    ))
+    speedup = (measured["batched"]["throughput_rps"]
+               / measured["single"]["throughput_rps"])
+    queued_speedup = (measured["queued"]["throughput_rps"]
+                      / measured["single"]["throughput_rps"])
+    emit(f"batched speedup {speedup:.2f}x, micro-batched queue "
+         f"{queued_speedup:.2f}x")
+
+    result = ExperimentResult(
+        experiment_id="serve_throughput",
+        paper_reference="deployment (beyond the paper's tables)",
+        description="single-sample vs batched INT8 inference throughput "
+                    "over a frozen FF-INT8 artifact",
+        parameters={"requests": REQUESTS, "engine_batch": ENGINE_BATCH,
+                    "train_epochs": TRAIN_EPOCHS},
+        results={**measured, "batched_speedup": speedup,
+                 "queued_speedup": queued_speedup},
+    )
+    save_experiment(result)
+
+    # The serving subsystem's reason to exist: batching must win big.
+    assert speedup >= 3.0, (
+        f"batched INT8 throughput only {speedup:.2f}x single-sample"
+    )
+    assert queued_speedup >= 2.0, (
+        f"micro-batched queue only {queued_speedup:.2f}x single-sample"
+    )

@@ -7,6 +7,14 @@ falls back to the legacy ``setup.py develop`` path).  All project metadata
 lives in ``pyproject.toml``.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+# Kept in lockstep with ``repro.__version__`` (asserted by the test suite).
+VERSION = "1.1.0"
+
+setup(
+    name="ff-int8-repro",
+    version=VERSION,
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+)

@@ -8,9 +8,12 @@ commonly used entry points:
 * datasets: :func:`synthetic_mnist`, :func:`synthetic_cifar10`,
 * the FF-INT8 trainer (:class:`FFInt8Trainer`) and its baselines
   (:class:`BPTrainer`, :func:`make_trainer`),
-* the Jetson Orin Nano hardware model (:class:`TrainingCostModel`).
+* the Jetson Orin Nano hardware model (:class:`TrainingCostModel`),
+* the serving stack (:func:`export_artifact` → :class:`Int8InferenceEngine`
+  → :class:`MicroBatcher`) for batched INT8 inference from frozen weights.
 
-See ``examples/quickstart.py`` for a 20-line end-to-end run.
+See ``examples/quickstart.py`` for a 20-line end-to-end run and
+``examples/serve_quickstart.py`` for the train → export → serve loop.
 """
 
 from repro.core import (
@@ -26,9 +29,23 @@ from repro.core import (
 from repro.data import synthetic_cifar10, synthetic_mnist
 from repro.hardware import TrainingCostModel, build_table5_summary, profile_bundle
 from repro.models import available_models, build_model
+from repro.serve import (
+    Int8InferenceEngine,
+    InferenceArtifact,
+    MicroBatcher,
+    PredictionCache,
+    ServeConfig,
+    ServeMetrics,
+    build_engine,
+    export_artifact,
+    export_from_checkpoint,
+    frozen_classifier,
+    load_artifact,
+    save_artifact,
+)
 from repro.training import BPConfig, BPTrainer, make_trainer
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "FFInt8Trainer",
@@ -49,5 +66,17 @@ __all__ = [
     "TrainingCostModel",
     "profile_bundle",
     "build_table5_summary",
+    "InferenceArtifact",
+    "export_artifact",
+    "export_from_checkpoint",
+    "save_artifact",
+    "load_artifact",
+    "Int8InferenceEngine",
+    "build_engine",
+    "frozen_classifier",
+    "MicroBatcher",
+    "PredictionCache",
+    "ServeConfig",
+    "ServeMetrics",
     "__version__",
 ]

@@ -1,10 +1,12 @@
 """Command-line interface for the FF-INT8 reproduction.
 
-Three subcommands cover the common workflows::
+Five subcommands cover the common workflows::
 
-    python -m repro models                      # list registered architectures
+    python -m repro models                      # architectures + parameter counts
     python -m repro train --model mlp-mini --algorithm FF-INT8 --epochs 20
     python -m repro estimate --model resnet18   # Jetson Orin Nano cost table
+    python -m repro export --model mlp-mini --output runs/artifact
+    python -m repro serve-bench --model mlp-mini --requests 256
 
 The CLI is intentionally thin: it wires the public library API together so
 that the same behaviour is scriptable without writing Python.
@@ -14,12 +16,27 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Optional, Sequence
 
+import numpy as np
+
+from repro import __version__
 from repro.analysis import format_table
+from repro.core import FFInt8Config, FFInt8Trainer, load_ff_checkpoint, save_ff_checkpoint
 from repro.data import synthetic_cifar10, synthetic_mnist
 from repro.hardware import TrainingCostModel, profile_bundle
 from repro.models import available_models, build_model
+from repro.serve import (
+    MicroBatcher,
+    ServeConfig,
+    build_engine,
+    export_artifact,
+    export_from_checkpoint,
+    latency_percentiles,
+    load_artifact,
+    save_artifact,
+)
 from repro.training import ALL_ALGORITHMS, make_trainer
 from repro.utils.serialization import save_json
 
@@ -30,9 +47,13 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="FF-INT8: Forward-Forward INT8 training (DAC 2025 reproduction)",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    subparsers.add_parser("models", help="list registered model architectures")
+    subparsers.add_parser(
+        "models", help="list registered architectures with parameter counts"
+    )
 
     train = subparsers.add_parser("train", help="train a model with one algorithm")
     train.add_argument("--model", default="mlp-mini",
@@ -50,6 +71,9 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--seed", type=int, default=0)
     train.add_argument("--output", default=None,
                        help="optional path for a JSON run summary")
+    train.add_argument("--save-checkpoint", default=None,
+                       help="save trained FF units to this checkpoint path "
+                            "(FF algorithms only)")
 
     estimate = subparsers.add_parser(
         "estimate", help="estimate Jetson Orin Nano training cost for a model"
@@ -59,6 +83,52 @@ def build_parser() -> argparse.ArgumentParser:
                           help="epochs for every algorithm (default: per-algorithm)")
     estimate.add_argument("--dataset-size", type=int, default=50000)
     estimate.add_argument("--batch-size", type=int, default=32)
+
+    export = subparsers.add_parser(
+        "export",
+        help="freeze a trained model into an immutable INT8 inference artifact",
+    )
+    export.add_argument("--model", default="mlp-mini",
+                        help="registry name used to rebuild the module skeleton")
+    export.add_argument("--checkpoint", default=None,
+                        help="FF checkpoint to export (trains a fresh model "
+                             "with FF-INT8 when omitted)")
+    export.add_argument("--dataset", default="mnist", choices=("mnist", "cifar10"))
+    export.add_argument("--epochs", type=int, default=8,
+                        help="training epochs when no checkpoint is given")
+    export.add_argument("--train-samples", type=int, default=256)
+    export.add_argument("--test-samples", type=int, default=96)
+    export.add_argument("--image-size", type=int, default=None)
+    export.add_argument("--per-channel", action="store_true",
+                        help="per-output-channel weight scales")
+    export.add_argument("--seed", type=int, default=0)
+    export.add_argument("--output", required=True,
+                        help="artifact path (writes <output>.npz + <output>.json)")
+
+    bench = subparsers.add_parser(
+        "serve-bench",
+        help="benchmark single-sample vs micro-batched INT8 inference",
+    )
+    bench.add_argument("--model", default="mlp-mini")
+    bench.add_argument("--artifact", default=None,
+                       help="serve an existing artifact instead of training")
+    bench.add_argument("--dataset", default="mnist", choices=("mnist", "cifar10"))
+    bench.add_argument("--epochs", type=int, default=8,
+                       help="training epochs when no artifact is given")
+    bench.add_argument("--train-samples", type=int, default=256)
+    bench.add_argument("--test-samples", type=int, default=96)
+    bench.add_argument("--image-size", type=int, default=None)
+    bench.add_argument("--requests", type=int, default=256,
+                       help="number of single-sample requests to serve")
+    bench.add_argument("--max-batch-size", type=int, default=32)
+    bench.add_argument("--max-wait-ms", type=float, default=5.0)
+    bench.add_argument("--workers", type=int, default=1)
+    bench.add_argument("--cache-size", type=int, default=0,
+                       help="LRU prediction-cache capacity (0 disables; kept "
+                            "off by default so the speedup is pure batching)")
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--output", default=None,
+                       help="optional path for a JSON benchmark summary")
     return parser
 
 
@@ -82,8 +152,12 @@ def _default_input_shape(args) -> tuple:
 
 
 def _cmd_models() -> int:
+    rows = []
     for name in available_models():
-        print(name)
+        bundle = build_model(name)
+        rows.append([name, f"{bundle.num_parameters():,}",
+                     len(bundle.backbone_blocks), bundle.description])
+    print(format_table(["model", "parameters", "ff blocks", "description"], rows))
     return 0
 
 
@@ -110,6 +184,16 @@ def _cmd_train(args) -> int:
     final = history.final_test_accuracy
     print(f"final test accuracy: "
           f"{'n/a' if final is None else f'{100 * final:.1f}%'}")
+
+    if args.save_checkpoint:
+        units = history.metadata.get("units")
+        if units is None:
+            print("--save-checkpoint ignored: "
+                  f"{args.algorithm} does not produce FF units")
+        else:
+            path = save_ff_checkpoint(units, bundle, trainer.config,
+                                      args.save_checkpoint)
+            print(f"checkpoint written to {path}")
 
     if args.output:
         save_json(history.as_dict(), args.output)
@@ -141,6 +225,148 @@ def _cmd_estimate(args) -> int:
     return 0
 
 
+def _mini_image_size(args) -> None:
+    """Default export/serve workloads to the mini-native resolutions."""
+    if args.image_size is None:
+        args.image_size = 14 if args.dataset == "mnist" else 16
+
+
+def _train_and_freeze(args):
+    """Train a fresh FF-INT8 model and freeze it (export/serve-bench path)."""
+    train_set, test_set = _load_dataset(args)
+    input_shape = _default_input_shape(args)
+    bundle = build_model(args.model, input_shape=input_shape)
+    config = FFInt8Config(
+        epochs=args.epochs, batch_size=64, overlay_amplitude=2.0,
+        evaluate_every=max(args.epochs, 1), eval_max_samples=args.test_samples,
+        seed=args.seed,
+    )
+    print(f"training {bundle.name} with FF-INT8 for {args.epochs} epochs "
+          "before freezing...")
+    history = FFInt8Trainer(config).fit(bundle, train_set, test_set)
+    units = history.metadata["units"]
+    artifact = export_artifact(
+        units, bundle,
+        goodness=config.goodness,
+        overlay_amplitude=config.overlay_amplitude,
+        theta=config.theta,
+        per_channel=getattr(args, "per_channel", False),
+        registry_name=args.model,
+        registry_kwargs={"input_shape": list(input_shape)},
+    )
+    return artifact, test_set
+
+
+def _cmd_export(args) -> int:
+    _mini_image_size(args)
+    if args.checkpoint:
+        checkpoint = load_ff_checkpoint(args.checkpoint)
+        input_shape = tuple(int(v) for v in checkpoint.metadata["input_shape"])
+        bundle = build_model(args.model, input_shape=input_shape)
+        artifact = export_from_checkpoint(
+            checkpoint, bundle, per_channel=args.per_channel,
+            registry_name=args.model,
+            registry_kwargs={"input_shape": list(input_shape)},
+        )
+    else:
+        artifact, _ = _train_and_freeze(args)
+    path = save_artifact(artifact, args.output)
+    print(format_table(
+        ["field", "value"],
+        [
+            ["model", artifact.metadata["model_name"]],
+            ["units", artifact.num_units],
+            ["INT8 weight tensors", len(artifact.quantized_keys())],
+            ["payload (KiB)", artifact.nbytes() / 1024.0],
+            ["goodness", artifact.goodness_name],
+            ["per-channel scales", str(bool(artifact.metadata["per_channel"]))],
+        ],
+        title="exported inference artifact",
+        float_format="{:.1f}",
+    ))
+    print(f"artifact written to {path}")
+    return 0
+
+
+def _cmd_serve_bench(args) -> int:
+    _mini_image_size(args)
+    if args.artifact:
+        artifact = load_artifact(args.artifact)
+        engine = build_engine(artifact)
+        _, test_set = _load_dataset(args)
+    else:
+        artifact, test_set = _train_and_freeze(args)
+        engine = build_engine(artifact)
+
+    images = test_set.images
+    indices = np.arange(args.requests) % len(images)
+    stream = images[indices]
+
+    # Single-sample baseline: one engine call per request.
+    single_latencies = []
+    started = time.perf_counter()
+    for sample in stream:
+        call_started = time.perf_counter()
+        engine.predict(sample[None])
+        single_latencies.append(1000.0 * (time.perf_counter() - call_started))
+    single_elapsed = time.perf_counter() - started
+    single_throughput = args.requests / single_elapsed
+    single_stats = latency_percentiles(single_latencies)
+
+    # Micro-batched path: burst-submit every request, then gather.
+    # Caching and in-flight dedup are disabled unless asked for, so the
+    # reported speedup comes from batching alone.
+    config = ServeConfig(
+        max_batch_size=args.max_batch_size, max_wait_ms=args.max_wait_ms,
+        num_workers=args.workers, cache_capacity=args.cache_size,
+        dedup_inflight=args.cache_size > 0,
+    )
+    batcher = MicroBatcher(engine, config)
+    with batcher:
+        started = time.perf_counter()
+        batched_labels = batcher.predict_many(list(stream))
+        batched_elapsed = time.perf_counter() - started
+    batched_throughput = args.requests / batched_elapsed
+    snap = batcher.metrics.snapshot()
+
+    reference = engine.predict(stream)
+    if not np.array_equal(batched_labels, reference):
+        print("WARNING: batched predictions diverged from the engine reference")
+
+    speedup = batched_throughput / single_throughput if single_throughput else 0.0
+    print(format_table(
+        ["mode", "requests", "throughput (req/s)", "p50 (ms)", "p95 (ms)",
+         "p99 (ms)"],
+        [
+            ["single-sample", args.requests, single_throughput,
+             single_stats["p50"], single_stats["p95"], single_stats["p99"]],
+            ["micro-batched", args.requests, batched_throughput,
+             snap["p50"], snap["p95"], snap["p99"]],
+        ],
+        title=f"serve-bench: {artifact.metadata['model_name']} "
+              f"(max_batch_size={args.max_batch_size}, "
+              f"workers={args.workers})",
+        float_format="{:.2f}",
+    ))
+    print(f"batched speedup: {speedup:.2f}x  "
+          f"(mean batch size {snap['mean_batch_size']:.1f}, "
+          f"{int(snap['batches'])} batches, "
+          f"cache hits {batcher.cache.hits})")
+
+    if args.output:
+        save_json({
+            "model": artifact.metadata["model_name"],
+            "requests": args.requests,
+            "serve_config": config.as_dict(),
+            "single": {"throughput_rps": single_throughput, **single_stats},
+            "batched": {"throughput_rps": batched_throughput, **snap},
+            "cache": batcher.cache.stats(),
+            "speedup": speedup,
+        }, args.output)
+        print(f"benchmark summary written to {args.output}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -150,6 +376,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_train(args)
     if args.command == "estimate":
         return _cmd_estimate(args)
+    if args.command == "export":
+        return _cmd_export(args)
+    if args.command == "serve-bench":
+        return _cmd_serve_bench(args)
     return 1
 
 

@@ -21,9 +21,28 @@ from repro.core.goodness import build_goodness
 from repro.data.overlay import LabelOverlay
 from repro.models.base import ModelBundle
 from repro.nn.module import Module
-from repro.utils.serialization import load_json, load_parameters, save_json, save_parameters
+from repro.nn.norm import _BatchNormBase
+from repro.utils.serialization import (
+    archive_base,
+    archive_path,
+    load_json,
+    load_parameters,
+    save_json,
+    save_parameters,
+)
 
 PathLike = Union[str, Path]
+
+# BatchNorm running statistics live outside ``named_parameters`` but are part
+# of the trained model; they are checkpointed under a ``::buffer`` suffix.
+BUFFER_SUFFIX = "::buffer"
+_BUFFER_NAMES = ("running_mean", "running_var")
+
+
+def _named_modules(module: Module, prefix: str = ""):
+    yield prefix, module
+    for name, child in module._modules.items():
+        yield from _named_modules(child, f"{prefix}{name}.")
 
 
 @dataclass
@@ -44,6 +63,11 @@ def _unit_state(units: Sequence[Module]) -> Dict[str, np.ndarray]:
     for index, unit in enumerate(units):
         for name, param in unit.named_parameters():
             state[f"unit{index}.{name}"] = param.data.copy()
+        for path, module in _named_modules(unit):
+            if isinstance(module, _BatchNormBase):
+                for buffer_name in _BUFFER_NAMES:
+                    key = f"unit{index}.{path}{buffer_name}{BUFFER_SUFFIX}"
+                    state[key] = np.asarray(getattr(module, buffer_name)).copy()
     return state
 
 
@@ -58,9 +82,8 @@ def save_ff_checkpoint(
     Two files are written: ``<path>.npz`` with the parameters and
     ``<path>.json`` with the metadata; the returned path is the ``.npz``.
     """
-    path = Path(path)
-    base = path.with_suffix("") if path.suffix == ".npz" else path
-    params_path = save_parameters(_unit_state(units), base.with_suffix(".npz"))
+    base = archive_base(path)
+    params_path = save_parameters(_unit_state(units), archive_path(base, ".npz"))
     metadata = {
         "model_name": bundle.name,
         "num_units": len(units),
@@ -73,16 +96,15 @@ def save_ff_checkpoint(
         "int8": config.int8,
         "lookahead": config.lookahead,
     }
-    save_json(metadata, base.with_suffix(".json"))
+    save_json(metadata, archive_path(base, ".json"))
     return params_path
 
 
 def load_ff_checkpoint(path: PathLike) -> FFCheckpoint:
     """Load a checkpoint written by :func:`save_ff_checkpoint`."""
-    path = Path(path)
-    base = path.with_suffix("") if path.suffix in (".npz", ".json") else path
-    parameters = load_parameters(base.with_suffix(".npz"))
-    metadata = load_json(base.with_suffix(".json"))
+    base = archive_base(path)
+    parameters = load_parameters(archive_path(base, ".npz"))
+    metadata = load_json(archive_path(base, ".json"))
     return FFCheckpoint(parameters=parameters, metadata=metadata)
 
 
@@ -100,6 +122,16 @@ def restore_units(checkpoint: FFCheckpoint, bundle: ModelBundle) -> List[Module]
             if key not in checkpoint.parameters:
                 raise KeyError(f"checkpoint is missing parameter {key!r}")
             param.copy_(checkpoint.parameters[key])
+        for path, module in _named_modules(unit):
+            if isinstance(module, _BatchNormBase):
+                for buffer_name in _BUFFER_NAMES:
+                    key = f"unit{index}.{path}{buffer_name}{BUFFER_SUFFIX}"
+                    # Pre-buffer checkpoints lack these keys; keep defaults.
+                    if key in checkpoint.parameters:
+                        setattr(
+                            module, buffer_name,
+                            checkpoint.parameters[key].astype(np.float32).copy(),
+                        )
     return units
 
 

@@ -1,0 +1,58 @@
+"""``repro.serve`` — batched INT8 inference for trained FF-INT8 networks.
+
+The training side of the repo answers "can Forward-Forward learn in INT8?";
+this package answers "what do you do with the result?".  It covers the
+deployment path end to end:
+
+* :func:`export_artifact` / :func:`export_from_checkpoint` freeze trained
+  units into an immutable :class:`InferenceArtifact` with pre-quantized INT8
+  weights (persist with :func:`save_artifact` / :func:`load_artifact`),
+* :class:`Int8InferenceEngine` runs the batched forward-only goodness
+  readout over the frozen weights,
+* :class:`MicroBatcher` coalesces single-sample requests into engine
+  batches, fronted by a :class:`PredictionCache` and instrumented by
+  :class:`ServeMetrics`,
+* :class:`ServeConfig` carries the serving knobs.
+
+See ``examples/serve_quickstart.py`` for the train → export → serve loop.
+"""
+
+from repro.serve.batcher import MicroBatcher
+from repro.serve.cache import PredictionCache, input_digest
+from repro.serve.config import ServeConfig
+from repro.serve.engine import (
+    FrozenInt8Kernel,
+    Int8InferenceEngine,
+    build_engine,
+    frozen_classifier,
+    rowwise_quantize,
+)
+from repro.serve.export import (
+    InferenceArtifact,
+    export_artifact,
+    export_from_checkpoint,
+    freeze_unit_weights,
+    load_artifact,
+    save_artifact,
+)
+from repro.serve.metrics import ServeMetrics, latency_percentiles
+
+__all__ = [
+    "ServeConfig",
+    "InferenceArtifact",
+    "export_artifact",
+    "export_from_checkpoint",
+    "freeze_unit_weights",
+    "save_artifact",
+    "load_artifact",
+    "Int8InferenceEngine",
+    "FrozenInt8Kernel",
+    "build_engine",
+    "frozen_classifier",
+    "rowwise_quantize",
+    "MicroBatcher",
+    "PredictionCache",
+    "input_digest",
+    "ServeMetrics",
+    "latency_percentiles",
+]

@@ -1,0 +1,245 @@
+"""Thread-safe micro-batching request queue in front of the INT8 engine.
+
+Single-sample inference wastes most of its time in per-call overhead; the
+engine's INT8 GEMMs only approach peak throughput on real batches.  The
+micro-batcher bridges the two: clients submit individual samples, worker
+threads coalesce whatever is queued (up to ``max_batch_size``, waiting at
+most ``max_wait_ms`` for stragglers) and run one engine pass per batch.
+Because the engine quantizes activations per sample, coalescing never
+changes a prediction — only its latency.
+
+The batcher also fronts the engine with the LRU prediction cache, coalesces
+requests whose input digest matches one already in flight (they share the
+original future — the cache can only help *after* the first answer lands),
+and feeds the metrics collector, so it is the one object a deployment
+interacts with.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from typing import Callable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.serve.cache import PredictionCache, input_digest
+from repro.serve.config import ServeConfig
+from repro.serve.metrics import ServeMetrics
+
+PredictFn = Callable[[np.ndarray], np.ndarray]
+
+_SHUTDOWN = object()
+
+
+class _Request:
+    """One queued sample together with its completion future."""
+
+    __slots__ = ("sample", "key", "future", "enqueued_at")
+
+    def __init__(self, sample: np.ndarray, key: Optional[str],
+                 enqueued_at: float) -> None:
+        self.sample = sample
+        self.key = key
+        self.future: "Future[object]" = Future()
+        self.enqueued_at = enqueued_at
+
+
+class MicroBatcher:
+    """Coalesces single-sample requests into batched engine calls.
+
+    Parameters
+    ----------
+    engine:
+        Either an object with a ``predict(batch) -> labels`` method (such as
+        :class:`~repro.serve.engine.Int8InferenceEngine`) or a bare callable
+        with the same signature.
+    config:
+        Batching knobs (see :class:`~repro.serve.config.ServeConfig`).
+    cache / metrics:
+        Injected for tests and shared deployments; sensible defaults are
+        created from the config otherwise.
+    """
+
+    def __init__(
+        self,
+        engine: Union[PredictFn, object],
+        config: Optional[ServeConfig] = None,
+        cache: Optional[PredictionCache] = None,
+        metrics: Optional[ServeMetrics] = None,
+    ) -> None:
+        self.config = config if config is not None else ServeConfig()
+        predict = getattr(engine, "predict", None)
+        self._predict: PredictFn = predict if callable(predict) else engine
+        if not callable(self._predict):
+            raise TypeError(
+                "engine must expose predict(batch) or itself be callable"
+            )
+        self.cache = (
+            cache
+            if cache is not None
+            else PredictionCache(self.config.cache_capacity)
+        )
+        self.metrics = metrics if metrics is not None else ServeMetrics()
+        self._queue: "queue.Queue[object]" = queue.Queue()
+        self._threads: List[threading.Thread] = []
+        self._lifecycle_lock = threading.Lock()
+        self._running = False
+        # In-flight requests by input digest, for request coalescing.
+        self._pending: dict = {}
+        self._pending_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "MicroBatcher":
+        """Spawn the worker threads (idempotent)."""
+        with self._lifecycle_lock:
+            if self._running:
+                return self
+            self._running = True
+            self._threads = [
+                threading.Thread(
+                    target=self._worker_loop,
+                    name=f"serve-worker-{index}",
+                    daemon=True,
+                )
+                for index in range(self.config.num_workers)
+            ]
+            for thread in self._threads:
+                thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Drain nothing, signal every worker to exit, and join them."""
+        with self._lifecycle_lock:
+            if not self._running:
+                return
+            self._running = False
+            threads, self._threads = self._threads, []
+        for _ in threads:
+            self._queue.put(_SHUTDOWN)
+        for thread in threads:
+            thread.join()
+
+    def __enter__(self) -> "MicroBatcher":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # request API
+    # ------------------------------------------------------------------ #
+    def submit(self, sample: np.ndarray) -> "Future[object]":
+        """Enqueue one sample; returns a future resolving to its label."""
+        if not self._running:
+            self.start()
+        sample = np.asarray(sample, dtype=np.float32)
+        key: Optional[str] = None
+        if self.cache.capacity > 0 or self.config.dedup_inflight:
+            key = input_digest(sample)
+        if key is not None and self.cache.capacity > 0:
+            hit = self.cache.get(key)
+            if hit is not None:
+                self.metrics.record_cached()
+                future: "Future[object]" = Future()
+                future.set_result(hit)
+                return future
+        request = _Request(sample, key, time.perf_counter())
+        if key is not None and self.config.dedup_inflight:
+            with self._pending_lock:
+                existing = self._pending.get(key)
+                if existing is not None:
+                    self.metrics.record_deduped()
+                    return existing.future
+                self._pending[key] = request
+        self.metrics.record_enqueue(self._queue.qsize())
+        self._queue.put(request)
+        return request.future
+
+    def predict(self, sample: np.ndarray, timeout: Optional[float] = None) -> int:
+        """Synchronous single-sample prediction through the batcher."""
+        timeout = timeout if timeout is not None else self.config.request_timeout_s
+        return int(self.submit(sample).result(timeout=timeout))
+
+    def predict_many(
+        self, samples: Sequence[np.ndarray], timeout: Optional[float] = None
+    ) -> np.ndarray:
+        """Submit a burst of samples and gather their labels in order."""
+        timeout = timeout if timeout is not None else self.config.request_timeout_s
+        futures = [self.submit(sample) for sample in samples]
+        return np.asarray(
+            [int(future.result(timeout=timeout)) for future in futures],
+            dtype=np.int64,
+        )
+
+    # ------------------------------------------------------------------ #
+    # worker internals
+    # ------------------------------------------------------------------ #
+    def _worker_loop(self) -> None:
+        # Workers exit only by consuming a shutdown token.  An early-exit on
+        # the idle-poll path would leave its token in the queue, where it
+        # would instantly kill a worker of a later start().
+        while True:
+            try:
+                first = self._queue.get(timeout=self.config.poll_timeout_s)
+            except queue.Empty:
+                continue
+            if first is _SHUTDOWN:
+                return
+            batch = self._gather_batch(first)
+            self._serve_batch(batch)
+
+    def _gather_batch(self, first: _Request) -> List[_Request]:
+        """Collect up to ``max_batch_size`` requests within the wait window."""
+        batch = [first]
+        deadline = time.perf_counter() + self.config.max_wait_s
+        while len(batch) < self.config.max_batch_size:
+            remaining = deadline - time.perf_counter()
+            try:
+                if remaining <= 0:
+                    item = self._queue.get_nowait()
+                else:
+                    item = self._queue.get(timeout=remaining)
+            except queue.Empty:
+                break
+            if item is _SHUTDOWN:
+                # Keep the shutdown token available for another worker and
+                # serve what we already gathered.
+                self._queue.put(_SHUTDOWN)
+                break
+            batch.append(item)
+            if remaining <= 0:
+                break
+        return batch
+
+    def _release_pending(self, request: _Request) -> None:
+        if request.key is not None and self.config.dedup_inflight:
+            with self._pending_lock:
+                if self._pending.get(request.key) is request:
+                    del self._pending[request.key]
+
+    def _serve_batch(self, batch: List[_Request]) -> None:
+        inputs = np.stack([request.sample for request in batch])
+        try:
+            labels = self._predict(inputs)
+        except BaseException as error:  # propagate to every waiting client
+            for request in batch:
+                request.future.set_exception(error)
+                self._release_pending(request)
+            return
+        finished = time.perf_counter()
+        labels = np.asarray(labels)
+        latencies_ms = [
+            1000.0 * (finished - request.enqueued_at) for request in batch
+        ]
+        self.metrics.record_batch(latencies_ms)
+        for request, label in zip(batch, labels):
+            value = int(label)
+            if request.key is not None and self.cache.capacity > 0:
+                self.cache.put(request.key, value)
+            request.future.set_result(value)
+            self._release_pending(request)

@@ -1,0 +1,96 @@
+"""LRU prediction cache keyed on an input digest.
+
+Serving workloads are often heavy-tailed: a small set of inputs (hot images,
+health-check probes, retried requests) accounts for a large share of traffic.
+Because FF inference runs one forward pass per candidate label, a cache hit
+saves ``num_classes`` INT8 passes, so even modest hit rates pay for the
+hashing.  Keys are content digests of the raw input array (dtype + shape +
+bytes), so numerically identical requests hit regardless of object identity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+
+def input_digest(sample: np.ndarray) -> str:
+    """Content digest of one input sample (dtype, shape and raw bytes)."""
+    array = np.ascontiguousarray(sample)
+    hasher = hashlib.sha1()
+    hasher.update(str(array.dtype).encode())
+    hasher.update(str(array.shape).encode())
+    hasher.update(array.tobytes())
+    return hasher.hexdigest()
+
+
+class PredictionCache:
+    """Thread-safe LRU cache of per-sample predictions with hit/miss counters.
+
+    A ``capacity`` of 0 disables the cache: every lookup misses and stores
+    are dropped, which lets callers keep one unconditional code path.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[str, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ #
+    def get(self, key: str) -> Optional[Any]:
+        """Look up a cached prediction, refreshing its recency on a hit."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return self._entries[key]
+            self.misses += 1
+            return None
+
+    def put(self, key: str, value: Any) -> None:
+        """Insert (or refresh) a prediction, evicting the LRU entry if full."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    # ------------------------------------------------------------------ #
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, Any]:
+        """Counters for reports and the serve benchmark."""
+        return {
+            "capacity": self.capacity,
+            "entries": len(self),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate(),
+        }

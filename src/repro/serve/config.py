@@ -1,0 +1,102 @@
+"""Serving configuration.
+
+Unlike the training-side dataclass configs, :class:`ServeConfig` follows the
+Hugging Face ``PretrainedConfig`` idiom (explicit keyword arguments stored on
+``self``, derived fields computed in ``__init__``, unknown keyword arguments
+tolerated) so that serving deployments can carry extra, deployment-specific
+settings without the library having to know about them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+
+class ServeConfig:
+    """Configuration of the batched INT8 inference service.
+
+    Parameters
+    ----------
+    max_batch_size:
+        Largest engine batch the micro-batcher will assemble.
+    max_wait_ms:
+        How long (milliseconds) a worker waits for additional requests after
+        dequeuing the first one before dispatching a partial batch.  ``0``
+        disables coalescing (every request runs alone — useful as a baseline).
+    num_workers:
+        Number of batch-serving worker threads.
+    cache_capacity:
+        Capacity of the LRU prediction cache; ``0`` disables caching.
+    dedup_inflight:
+        Coalesce requests whose input digest matches one already queued or
+        executing: they share the original request's future instead of being
+        re-batched.  Complements the cache, which only helps after the first
+        answer lands.
+    poll_timeout_ms:
+        Idle workers re-check the shutdown flag at this interval.
+    request_timeout_s:
+        Default timeout when synchronously waiting for a prediction.
+    """
+
+    config_type = "serve"
+
+    def __init__(
+        self,
+        max_batch_size: int = 32,
+        max_wait_ms: float = 2.0,
+        num_workers: int = 1,
+        cache_capacity: int = 256,
+        dedup_inflight: bool = True,
+        poll_timeout_ms: float = 20.0,
+        request_timeout_s: float = 30.0,
+        **kwargs: Any,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        if cache_capacity < 0:
+            raise ValueError(f"cache_capacity must be >= 0, got {cache_capacity}")
+        if poll_timeout_ms <= 0:
+            raise ValueError(f"poll_timeout_ms must be > 0, got {poll_timeout_ms}")
+        if request_timeout_s <= 0:
+            raise ValueError(f"request_timeout_s must be > 0, got {request_timeout_s}")
+
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait_ms = float(max_wait_ms)
+        self.num_workers = int(num_workers)
+        self.cache_capacity = int(cache_capacity)
+        self.dedup_inflight = bool(dedup_inflight)
+        self.poll_timeout_ms = float(poll_timeout_ms)
+        self.request_timeout_s = float(request_timeout_s)
+
+        # Derived fields used by the hot path (seconds, not milliseconds).
+        self.max_wait_s = self.max_wait_ms / 1000.0
+        self.poll_timeout_s = self.poll_timeout_ms / 1000.0
+
+        # Deployment-specific extras ride along untouched.
+        for key, value in kwargs.items():
+            setattr(self, key, value)
+        self._extra_keys = tuple(kwargs)
+
+    # ------------------------------------------------------------------ #
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-serializable view of the configuration."""
+        payload = {
+            "max_batch_size": self.max_batch_size,
+            "max_wait_ms": self.max_wait_ms,
+            "num_workers": self.num_workers,
+            "cache_capacity": self.cache_capacity,
+            "dedup_inflight": self.dedup_inflight,
+            "poll_timeout_ms": self.poll_timeout_ms,
+            "request_timeout_s": self.request_timeout_s,
+        }
+        for key in self._extra_keys:
+            payload[key] = getattr(self, key)
+        return payload
+
+    def __repr__(self) -> str:
+        fields = ", ".join(f"{key}={value!r}" for key, value in self.as_dict().items())
+        return f"{type(self).__name__}({fields})"

@@ -1,0 +1,374 @@
+"""Batched forward-only INT8 execution engine for frozen artifacts.
+
+Two properties distinguish this engine from the training-side
+:class:`~repro.quant.int8_ops.Int8Engine`:
+
+* **Frozen weights.**  Weights were quantized once at export; the engine
+  never re-derives weight scales or touches observers, gradient buffers or
+  activation caches.
+* **Per-sample activation scales.**  Activations are quantized with one
+  scale per *row* (nearest rounding) instead of one scale per batch.  Row
+  operations are independent, so a sample's prediction is bit-identical
+  whatever batch it is served in — the micro-batcher may coalesce requests
+  freely without changing any answer — and a batched engine pass agrees
+  bit-for-bit with per-sample :class:`FFGoodnessClassifier` inference over
+  the same frozen units.
+
+Classification itself folds the ``num_classes`` label overlays into the
+batch dimension: one vectorized pass over ``(num_classes * N)`` rows replaces
+the per-label loop, which is where the batched throughput comes from.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.classifier import FFGoodnessClassifier
+from repro.core.goodness import GoodnessFunction, build_goodness
+from repro.data.overlay import LabelOverlay
+from repro.models.base import ModelBundle
+from repro.models.registry import build_model
+from repro.nn.module import Module
+from repro.nn.norm import _BatchNormBase
+from repro.quant.int8_ops import OpCounts, int8_matmul
+from repro.serve.export import (
+    _BUFFER_NAMES,
+    _QUANTIZABLE,
+    BUFFER_SUFFIX,
+    QUANT_SUFFIX,
+    SCALE_SUFFIX,
+    InferenceArtifact,
+    named_modules,
+)
+
+
+def rowwise_quantize(
+    values: np.ndarray, qmax: int = 127, counts: Optional[OpCounts] = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Quantize each row of ``values`` with its own scale (nearest rounding).
+
+    Returns ``(q, scales)`` with ``q`` int8 shaped like ``values`` and
+    ``scales`` of shape ``(rows,)``.  Rows are quantized independently, which
+    makes the result invariant to how rows are grouped into batches — the
+    property the micro-batcher relies on.  All arithmetic stays in float32
+    (deterministic and row-wise, so bit-identity across batch compositions is
+    preserved) to keep the serving hot path off the float64 slow lane.
+    """
+    values = np.asarray(values, dtype=np.float32)
+    flat = np.abs(values.reshape(values.shape[0], -1))
+    extremes = flat.max(axis=1) if flat.size else np.zeros(
+        values.shape[0], dtype=np.float32
+    )
+    scales = (np.maximum(extremes, np.float32(1e-12)) / np.float32(qmax)).astype(
+        np.float32
+    )
+    levels = values / scales.reshape((-1,) + (1,) * (values.ndim - 1))
+    np.rint(levels, out=levels)
+    np.clip(levels, -qmax, qmax, out=levels)
+    q = levels.astype(np.int8)
+    if counts is not None:
+        counts.fp32_cmp += int(values.size)
+        counts.fp32_add += int(values.size)
+    return q, scales
+
+
+class FrozenInt8Kernel:
+    """Inference-only quantized engine attached to a single frozen layer.
+
+    Implements the ``quant_engine`` protocol that :class:`Linear`,
+    :class:`Conv2d` and :class:`DepthwiseConv2d` dispatch to, but with the
+    weight operand fixed at construction: the module's float32 weight is
+    ignored and the pre-quantized INT8 matrix is used instead.  The gradient
+    entry points raise — an exported artifact cannot be trained.
+    """
+
+    def __init__(
+        self,
+        weight_q: np.ndarray,
+        weight_scale: np.ndarray,
+        counts: Optional[OpCounts] = None,
+        qmax: int = 127,
+    ) -> None:
+        if weight_q.dtype != np.int8:
+            raise TypeError(f"frozen weights must be int8, got {weight_q.dtype}")
+        if weight_q.ndim != 2:
+            raise ValueError(
+                f"frozen weights must be a 2-D matrix, got shape {weight_q.shape}"
+            )
+        self.weight_q = np.ascontiguousarray(weight_q)
+        self.weight_qT = np.ascontiguousarray(weight_q.T)
+        self.weight_scale = np.asarray(weight_scale, dtype=np.float64)
+        # The hot path rescales in float32; precompute the narrowed scales.
+        self._weight_scale32 = self.weight_scale.astype(np.float32)
+        self.qmax = int(qmax)
+        self.counts = counts if counts is not None else OpCounts()
+        # INT8 GEMM via float32 BLAS: every product is <= qmax^2 and any
+        # partial sum of K such terms is bounded by K * qmax^2, so while that
+        # bound stays below 2^24 (float32's exact-integer range) the sgemm
+        # result is the exact integer accumulation — bit-identical to the
+        # int32 path for every summation order, and an order of magnitude
+        # faster than NumPy's non-BLAS integer matmul.
+        reduce_dim = self.weight_qT.shape[0]
+        self._exact_f32 = reduce_dim * qmax * qmax < 2 ** 24
+        self._weight_qT_f32 = (
+            self.weight_qT.astype(np.float32) if self._exact_f32 else None
+        )
+
+    # ------------------------------------------------------------------ #
+    def _rescale(self, acc: np.ndarray, row_scales: np.ndarray) -> np.ndarray:
+        out = acc.astype(np.float32)
+        out *= row_scales[:, None]
+        if self._weight_scale32.ndim == 1:
+            out *= self._weight_scale32[None, :]
+        else:
+            out *= self._weight_scale32
+        return out
+
+    def linear_forward(self, x: np.ndarray, weight: np.ndarray) -> np.ndarray:
+        """``x @ frozen_weight.T`` with INT8 operands (``weight`` ignored)."""
+        x_q, x_scales = rowwise_quantize(x, self.qmax, self.counts)
+        if self._exact_f32:
+            acc = x_q.astype(np.float32) @ self._weight_qT_f32
+            macs = int(x_q.shape[0] * x_q.shape[1] * self.weight_qT.shape[1])
+            self.counts.int8_mul += macs
+            self.counts.int8_add += macs
+        else:
+            acc = int8_matmul(x_q, self.weight_qT, counts=self.counts)
+        return self._rescale(acc, x_scales)
+
+    def depthwise_forward(self, cols: np.ndarray, weight: np.ndarray) -> np.ndarray:
+        """Depthwise inner product with INT8 operands (``weight`` ignored)."""
+        c_q, c_scales = rowwise_quantize(cols, self.qmax, self.counts)
+        acc = np.einsum(
+            "pck,ck->pc",
+            c_q.astype(np.int32),
+            self.weight_q.astype(np.int32),
+            dtype=np.int64,
+        )
+        macs = int(cols.shape[0] * cols.shape[1] * cols.shape[2])
+        self.counts.int8_mul += macs
+        self.counts.int8_add += macs
+        return self._rescale(acc, c_scales)
+
+    # ------------------------------------------------------------------ #
+    def linear_weight_grad(self, grad_output: np.ndarray, x: np.ndarray):
+        raise RuntimeError(
+            "FrozenInt8Kernel is inference-only; exported artifacts cannot "
+            "compute weight gradients"
+        )
+
+    def depthwise_weight_grad(self, grad_matrix: np.ndarray, cols: np.ndarray):
+        raise RuntimeError(
+            "FrozenInt8Kernel is inference-only; exported artifacts cannot "
+            "compute weight gradients"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# artifact -> frozen modules
+# --------------------------------------------------------------------------- #
+def _restore_frozen_units(
+    artifact: InferenceArtifact, bundle: ModelBundle, counts: OpCounts
+) -> List[Module]:
+    """Rebuild the bundle's FF units with frozen INT8 kernels attached."""
+    units = bundle.ff_units()
+    if len(units) != artifact.num_units:
+        raise ValueError(
+            f"artifact stores {artifact.num_units} units but bundle "
+            f"{bundle.name!r} produces {len(units)}; model configuration mismatch"
+        )
+    for index, unit in enumerate(units):
+        prefix = f"unit{index}."
+        frozen_names = set()
+        for path, module in named_modules(unit):
+            if isinstance(module, _QUANTIZABLE):
+                base = f"{prefix}{path}weight"
+                try:
+                    q = artifact.tensors[base + QUANT_SUFFIX]
+                    scale = artifact.tensors[base + SCALE_SUFFIX]
+                except KeyError as error:
+                    raise KeyError(
+                        f"artifact is missing frozen weight tensor {error.args[0]!r}"
+                    ) from None
+                matrix = np.ascontiguousarray(q.reshape(q.shape[0], -1))
+                scale = np.asarray(scale, dtype=np.float64)
+                broadcast = scale[:, None] if scale.ndim == 1 else scale
+                dequantized = (matrix.astype(np.float64) * broadcast).astype(
+                    np.float32
+                )
+                module.weight.copy_(dequantized.reshape(module.weight.data.shape))
+                module.quant_engine = FrozenInt8Kernel(matrix, scale, counts=counts)
+                frozen_names.add(f"{path}weight")
+            elif isinstance(module, _BatchNormBase):
+                for buffer_name in _BUFFER_NAMES:
+                    key = f"{prefix}{path}{buffer_name}{BUFFER_SUFFIX}"
+                    if key in artifact.tensors:
+                        setattr(
+                            module,
+                            buffer_name,
+                            artifact.tensors[key].astype(np.float32).copy(),
+                        )
+        for name, param in unit.named_parameters():
+            if name in frozen_names:
+                continue
+            key = f"{prefix}{name}"
+            if key not in artifact.tensors:
+                raise KeyError(f"artifact is missing parameter {key!r}")
+            param.copy_(artifact.tensors[key])
+        unit.eval()
+        unit.set_activation_caching(False)
+    return units
+
+
+def _bundle_from_metadata(artifact: InferenceArtifact) -> ModelBundle:
+    registry_name = artifact.metadata.get("registry_name")
+    if registry_name is None:
+        raise ValueError(
+            "artifact carries no registry reference; pass a matching "
+            "ModelBundle explicitly"
+        )
+    kwargs = dict(artifact.metadata.get("registry_kwargs") or {})
+    if "input_shape" in kwargs:
+        kwargs["input_shape"] = tuple(kwargs["input_shape"])
+    return build_model(str(registry_name), **kwargs)
+
+
+class Int8InferenceEngine:
+    """Batched goodness-readout inference over frozen INT8 units.
+
+    The engine owns nothing trainable: units run in eval mode with activation
+    caching disabled, so a forward pass allocates no gradient or cache state.
+    """
+
+    def __init__(
+        self,
+        units: Sequence[Module],
+        overlay: LabelOverlay,
+        goodness: Optional[GoodnessFunction] = None,
+        flatten_input: bool = False,
+        skip_first_layer: Optional[bool] = None,
+        counts: Optional[OpCounts] = None,
+    ) -> None:
+        if not units:
+            raise ValueError("engine needs at least one frozen unit")
+        self.units = list(units)
+        self.overlay = overlay
+        self.goodness = goodness if goodness is not None else build_goodness(
+            "sum_squares"
+        )
+        self.flatten_input = flatten_input
+        if skip_first_layer is None:
+            skip_first_layer = len(self.units) >= 2
+        self.skip_first_layer = skip_first_layer
+        self.counts = counts if counts is not None else OpCounts()
+        for unit in self.units:
+            unit.eval()
+            unit.set_activation_caching(False)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_artifact(
+        cls, artifact: InferenceArtifact, bundle: Optional[ModelBundle] = None
+    ) -> "Int8InferenceEngine":
+        """Materialize an engine from an exported artifact.
+
+        When ``bundle`` is omitted the module skeleton is rebuilt from the
+        artifact's registry reference.  The passed bundle's blocks are frozen
+        in place (weights overwritten, INT8 kernels attached) — do not keep
+        training it afterwards.
+        """
+        if bundle is None:
+            bundle = _bundle_from_metadata(artifact)
+        if bundle.num_classes != artifact.num_classes:
+            raise ValueError(
+                f"bundle has {bundle.num_classes} classes but artifact stores "
+                f"{artifact.num_classes}"
+            )
+        counts = OpCounts()
+        units = _restore_frozen_units(artifact, bundle, counts)
+        overlay = LabelOverlay(
+            num_classes=artifact.num_classes, amplitude=artifact.overlay_amplitude
+        )
+        return cls(
+            units,
+            overlay,
+            goodness=build_goodness(artifact.goodness_name),
+            flatten_input=artifact.flatten_input,
+            skip_first_layer=artifact.skip_first_layer,
+            counts=counts,
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_classes(self) -> int:
+        return self.overlay.num_classes
+
+    def _forward_goodness(self, inputs: np.ndarray) -> np.ndarray:
+        """Accumulated goodness per row (same contract as the classifier)."""
+        hidden = inputs.reshape(inputs.shape[0], -1) if self.flatten_input else inputs
+        total = np.zeros(inputs.shape[0], dtype=np.float64)
+        for index, unit in enumerate(self.units):
+            hidden = unit(hidden)
+            if self.skip_first_layer and index == 0:
+                continue
+            total += self.goodness.value(hidden)
+        return total.astype(np.float32)
+
+    def goodness_matrix(self, inputs: np.ndarray) -> np.ndarray:
+        """Goodness for every (sample, label) pair in one vectorized pass.
+
+        All label overlays are folded into the batch dimension, so the whole
+        readout costs one traversal of the network instead of
+        ``num_classes`` separate ones.
+        """
+        inputs = np.asarray(inputs, dtype=np.float32)
+        if inputs.shape[0] == 0:
+            return np.zeros((0, self.num_classes), dtype=np.float32)
+        candidates = self.overlay.candidates(inputs)
+        num_labels, batch = candidates.shape[0], candidates.shape[1]
+        folded = candidates.reshape((num_labels * batch,) + candidates.shape[2:])
+        totals = self._forward_goodness(folded)
+        return np.ascontiguousarray(totals.reshape(num_labels, batch).T)
+
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        """Predicted labels for a batch of raw (un-overlaid) inputs."""
+        return np.argmax(self.goodness_matrix(inputs), axis=1)
+
+    def predict_one(self, sample: np.ndarray) -> int:
+        """Predicted label for a single sample (no batch dimension)."""
+        return int(self.predict(np.asarray(sample)[None])[0])
+
+
+def build_engine(
+    artifact: InferenceArtifact, bundle: Optional[ModelBundle] = None
+) -> Int8InferenceEngine:
+    """Convenience alias for :meth:`Int8InferenceEngine.from_artifact`."""
+    return Int8InferenceEngine.from_artifact(artifact, bundle)
+
+
+def frozen_classifier(
+    artifact: InferenceArtifact, bundle: Optional[ModelBundle] = None
+) -> FFGoodnessClassifier:
+    """A :class:`FFGoodnessClassifier` over the artifact's frozen units.
+
+    This is the per-sample reference implementation: it traverses the same
+    frozen INT8 kernels one label overlay at a time.  Because activation
+    scales are per-row, its predictions are bit-identical to the batched
+    engine — the equivalence the serving tests pin down.
+    """
+    if bundle is None:
+        bundle = _bundle_from_metadata(artifact)
+    counts = OpCounts()
+    units = _restore_frozen_units(artifact, bundle, counts)
+    overlay = LabelOverlay(
+        num_classes=artifact.num_classes, amplitude=artifact.overlay_amplitude
+    )
+    return FFGoodnessClassifier(
+        units,
+        overlay,
+        goodness=build_goodness(artifact.goodness_name),
+        flatten_input=artifact.flatten_input,
+        skip_first_layer=artifact.skip_first_layer,
+    )

@@ -1,0 +1,149 @@
+"""Serving metrics: latency percentiles, throughput and queue-depth stats.
+
+The serving stack is judged by tail latency, not by mean throughput alone, so
+the collector keeps every per-request latency and derives p50/p95/p99 on
+demand.  At serving-benchmark scale (thousands of requests) the raw samples
+are tiny compared to the model, and exact percentiles are worth more than a
+streaming sketch.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis import format_table
+
+PERCENTILES = (50.0, 95.0, 99.0)
+
+
+def latency_percentiles(
+    latencies_ms: Sequence[float], percentiles: Sequence[float] = PERCENTILES
+) -> Dict[str, float]:
+    """``{"p50": ..., "p95": ..., "p99": ...}`` for a latency sample."""
+    if not len(latencies_ms):
+        return {f"p{int(p)}": 0.0 for p in percentiles}
+    values = np.asarray(latencies_ms, dtype=np.float64)
+    return {
+        f"p{int(p)}": float(np.percentile(values, p)) for p in percentiles
+    }
+
+
+class ServeMetrics:
+    """Thread-safe collector for the micro-batching inference service."""
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._latencies_ms: List[float] = []
+        self._batch_sizes: List[int] = []
+        self._queue_depths: List[int] = []
+        self._cached_requests = 0
+        self._deduped_requests = 0
+        self._first_ts: Optional[float] = None
+        self._last_ts: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+    def record_enqueue(self, queue_depth: int) -> None:
+        """Note a request entering the queue (samples the queue depth)."""
+        with self._lock:
+            if self._first_ts is None:
+                self._first_ts = self._clock()
+            self._queue_depths.append(int(queue_depth))
+
+    def record_batch(self, latencies_ms: Sequence[float]) -> None:
+        """Record one dispatched engine batch and its per-request latencies."""
+        now = self._clock()
+        with self._lock:
+            if self._first_ts is None:
+                self._first_ts = now
+            self._last_ts = now
+            self._batch_sizes.append(len(latencies_ms))
+            self._latencies_ms.extend(float(value) for value in latencies_ms)
+
+    def record_cached(self, latency_ms: float = 0.0) -> None:
+        """Record a request answered straight from the prediction cache."""
+        now = self._clock()
+        with self._lock:
+            if self._first_ts is None:
+                self._first_ts = now
+            self._last_ts = now
+            self._cached_requests += 1
+            self._latencies_ms.append(float(latency_ms))
+
+    def record_deduped(self) -> None:
+        """Record a request coalesced onto an identical in-flight one.
+
+        Deduplicated requests share the original's future, so their own
+        latency is not sampled separately.
+        """
+        with self._lock:
+            self._deduped_requests += 1
+
+    def reset(self) -> None:
+        """Drop all recorded samples."""
+        with self._lock:
+            self._latencies_ms.clear()
+            self._batch_sizes.clear()
+            self._queue_depths.clear()
+            self._cached_requests = 0
+            self._deduped_requests = 0
+            self._first_ts = None
+            self._last_ts = None
+
+    # ------------------------------------------------------------------ #
+    # derived statistics
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Dict[str, float]:
+        """Aggregate statistics over everything recorded so far."""
+        with self._lock:
+            latencies = list(self._latencies_ms)
+            batch_sizes = list(self._batch_sizes)
+            queue_depths = list(self._queue_depths)
+            cached = self._cached_requests
+            deduped = self._deduped_requests
+            first_ts, last_ts = self._first_ts, self._last_ts
+
+        elapsed_s = (last_ts - first_ts) if (first_ts is not None and
+                                             last_ts is not None) else 0.0
+        requests = len(latencies)
+        summary: Dict[str, float] = {
+            "requests": float(requests),
+            "batches": float(len(batch_sizes)),
+            "cached_requests": float(cached),
+            "deduped_requests": float(deduped),
+            "elapsed_s": float(elapsed_s),
+            "throughput_rps": requests / elapsed_s if elapsed_s > 0 else 0.0,
+            "mean_batch_size": float(np.mean(batch_sizes)) if batch_sizes else 0.0,
+            "max_batch_size": float(max(batch_sizes)) if batch_sizes else 0.0,
+            "mean_queue_depth": float(np.mean(queue_depths)) if queue_depths else 0.0,
+            "max_queue_depth": float(max(queue_depths)) if queue_depths else 0.0,
+            "mean_latency_ms": float(np.mean(latencies)) if latencies else 0.0,
+            "max_latency_ms": float(max(latencies)) if latencies else 0.0,
+        }
+        summary.update(latency_percentiles(latencies))
+        return summary
+
+    def format_report(self, title: str = "serving metrics") -> str:
+        """Render the snapshot as the repo's standard ASCII table."""
+        snap = self.snapshot()
+        rows = [
+            ["requests", snap["requests"]],
+            ["batches dispatched", snap["batches"]],
+            ["cache-served requests", snap["cached_requests"]],
+            ["deduped in-flight requests", snap["deduped_requests"]],
+            ["throughput (req/s)", snap["throughput_rps"]],
+            ["mean batch size", snap["mean_batch_size"]],
+            ["max queue depth", snap["max_queue_depth"]],
+            ["latency p50 (ms)", snap["p50"]],
+            ["latency p95 (ms)", snap["p95"]],
+            ["latency p99 (ms)", snap["p99"]],
+            ["latency max (ms)", snap["max_latency_ms"]],
+        ]
+        return format_table(["metric", "value"], rows, title=title,
+                            float_format="{:.3f}")

@@ -14,6 +14,26 @@ import numpy as np
 
 PathLike = Union[str, Path]
 
+# Checkpoints and inference artifacts are written as a tensor archive plus a
+# metadata sidecar sharing one base path.
+ARCHIVE_SUFFIXES = (".npz", ".json")
+
+
+def archive_base(path: PathLike) -> Path:
+    """Strip a trailing archive suffix; any other dotted name is kept whole."""
+    path = Path(path)
+    return path.with_suffix("") if path.suffix in ARCHIVE_SUFFIXES else path
+
+
+def archive_path(base: PathLike, suffix: str) -> Path:
+    """Append an archive suffix without mangling dots in the filename.
+
+    ``Path.with_suffix`` would turn ``model.v1`` into ``model.npz``, silently
+    colliding distinct artifacts; this keeps it as ``model.v1.npz``.
+    """
+    base = Path(base)
+    return base.parent / (base.name + suffix)
+
 
 def _to_jsonable(value: Any) -> Any:
     """Recursively convert NumPy containers/scalars into JSON-native types."""

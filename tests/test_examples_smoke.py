@@ -1,0 +1,145 @@
+"""Smoke tests: every example script must run end-to-end at tiny settings.
+
+Examples are the repo's public face; this suite imports each one and drives
+its ``main()`` with shrunken datasets/epoch budgets so a broken example fails
+CI instead of a user.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.core import FFInt8Config
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
+
+
+def _load_example(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"_example_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _shrunk(dataset_fn, train=64, test=32):
+    """Wrap a synthetic dataset factory to cap the sample counts."""
+
+    def wrapper(*args, **kwargs):
+        kwargs["num_train"] = min(kwargs.get("num_train", train), train)
+        kwargs["num_test"] = min(kwargs.get("num_test", test), test)
+        return dataset_fn(*args, **kwargs)
+
+    return wrapper
+
+
+def _fast_ff_config(**forced):
+    """An ``FFInt8Config`` factory that forces quick-run settings."""
+
+    def factory(**kwargs):
+        kwargs.update(forced)
+        return FFInt8Config(**kwargs)
+
+    return factory
+
+
+def test_examples_directory_is_covered():
+    """Every example script must have a smoke test in this module."""
+    scripts = {path.stem for path in EXAMPLES_DIR.glob("*.py")}
+    covered = {
+        name[len("test_"):-len("_runs")]
+        for name in globals()
+        if name.startswith("test_") and name.endswith("_runs")
+    }
+    assert scripts == covered, f"uncovered examples: {scripts - covered}"
+
+
+def test_quickstart_runs(monkeypatch, capsys):
+    module = _load_example("quickstart")
+    monkeypatch.setattr(module, "synthetic_mnist",
+                        _shrunk(module.synthetic_mnist))
+    monkeypatch.setattr(module, "FFInt8Config",
+                        _fast_ff_config(epochs=2, evaluate_every=1))
+    module.main()
+    out = capsys.readouterr().out
+    assert "final FF-INT8 test accuracy" in out
+    assert "Jetson Orin Nano estimate" in out
+
+
+def test_compare_training_algorithms_runs(monkeypatch, capsys):
+    module = _load_example("compare_training_algorithms")
+    monkeypatch.setattr(module, "synthetic_mnist",
+                        _shrunk(module.synthetic_mnist))
+    monkeypatch.setattr(module, "BP_EPOCHS", 1)
+    monkeypatch.setattr(module, "FF_EPOCHS", 2)
+    module.main()
+    out = capsys.readouterr().out
+    assert "FF-INT8" in out
+    assert "BP-FP32" in out
+
+
+def test_train_and_deploy_runs(monkeypatch, capsys, tmp_path):
+    module = _load_example("train_and_deploy")
+    monkeypatch.setattr(module, "synthetic_mnist",
+                        _shrunk(module.synthetic_mnist))
+    monkeypatch.setattr(module, "FFInt8Config",
+                        _fast_ff_config(epochs=2, evaluate_every=1))
+    monkeypatch.setattr(sys, "argv",
+                        ["train_and_deploy.py", "--epochs", "2",
+                         "--checkpoint", str(tmp_path / "ckpt")])
+    module.main()
+    out = capsys.readouterr().out
+    assert "checkpoint written" in out
+    assert "softmax readout accuracy" in out
+
+
+def test_lookahead_convergence_runs(monkeypatch, capsys):
+    module = _load_example("lookahead_convergence")
+    monkeypatch.setattr(module, "synthetic_mnist",
+                        _shrunk(module.synthetic_mnist))
+    monkeypatch.setattr(sys, "argv",
+                        ["lookahead_convergence.py", "--epochs", "2"])
+    module.main()
+    out = capsys.readouterr().out
+    assert "look-ahead" in out
+
+
+def test_bp_int8_divergence_runs(monkeypatch, capsys):
+    module = _load_example("bp_int8_divergence")
+    monkeypatch.setattr(module, "synthetic_cifar10",
+                        _shrunk(module.synthetic_cifar10, train=48, test=24))
+    # the script re-imports synthetic_mnist inside main()
+    monkeypatch.setattr(repro, "synthetic_mnist",
+                        _shrunk(repro.synthetic_mnist))
+    monkeypatch.setattr(sys, "argv", ["bp_int8_divergence.py",
+                                      "--epochs", "1"])
+    module.main()
+    out = capsys.readouterr().out
+    assert "BP-FP32" in out
+
+
+def test_edge_device_budget_runs(monkeypatch, capsys):
+    module = _load_example("edge_device_budget")
+    monkeypatch.setattr(sys, "argv", ["edge_device_budget.py"])
+    module.main()
+    out = capsys.readouterr().out
+    assert len(out.splitlines()) > 3
+
+
+def test_serve_quickstart_runs(monkeypatch, capsys):
+    module = _load_example("serve_quickstart")
+    monkeypatch.setattr(module, "synthetic_mnist",
+                        _shrunk(module.synthetic_mnist))
+    monkeypatch.setattr(sys, "argv",
+                        ["serve_quickstart.py", "--epochs", "2",
+                         "--requests", "48", "--max-batch-size", "16"])
+    module.main()
+    out = capsys.readouterr().out
+    assert "micro-batched serving" in out
+    assert "single-sample baseline" in out
