@@ -8,12 +8,31 @@ visible in the terminal) and saves a JSON artifact under
 
 from __future__ import annotations
 
+import os
 import sys
 from pathlib import Path
 
 from repro.analysis import ExperimentResult
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def bench_epochs(default: int) -> int:
+    """Epoch budget for a benchmark, reducible for smoke runs.
+
+    ``REPRO_BENCH_EPOCHS=<n>`` pins every benchmark to ``n`` epochs;
+    ``REPRO_BENCH_FAST=1`` quarters the default.  CI's benchmark smoke job
+    uses this to exercise the harness end-to-end without paying full
+    training budgets; accuracy-sensitive assertions should only be relied
+    on at the default budget.
+    """
+    override = os.environ.get("REPRO_BENCH_EPOCHS")
+    if override:
+        return max(1, int(override))
+    fast = os.environ.get("REPRO_BENCH_FAST", "").strip().lower()
+    if fast not in ("", "0", "false", "no"):
+        return max(1, default // 4)
+    return default
 
 
 def emit(text: str) -> None:

@@ -11,13 +11,13 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks._common import emit, run_once, save_experiment
+from benchmarks._common import bench_epochs, emit, run_once, save_experiment
 from repro.analysis import ExperimentResult, format_table
 from repro.core import FFInt8Config, FFInt8Trainer
 from repro.models import build_mlp
 from repro.training.schedules import LinearLambda
 
-EPOCHS = 20
+EPOCHS = bench_epochs(20)
 
 VARIANTS = {
     "no look-ahead": {"lookahead": False, "lambda_schedule": None},

@@ -9,13 +9,13 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks._common import emit, run_once, save_experiment
+from benchmarks._common import bench_epochs, emit, run_once, save_experiment
 from repro.analysis import ExperimentResult, format_table
 from repro.core import FFConfig, FFInt8Config, FFInt8Trainer, ForwardForwardTrainer
 from repro.models import build_mlp
 from repro.quant import QuantConfig
 
-EPOCHS = 18
+EPOCHS = bench_epochs(18)
 BIT_WIDTHS = (4, 8, 16)
 
 

@@ -11,13 +11,13 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from benchmarks._common import emit, run_once, save_experiment
+from benchmarks._common import bench_epochs, emit, run_once, save_experiment
 from repro.analysis import ExperimentResult, format_table
 from repro.core import FFInt8Config, FFInt8Trainer
 from repro.models import build_mlp
 from repro.quant import QuantConfig, fake_quantize
 
-EPOCHS = 18
+EPOCHS = bench_epochs(18)
 
 
 def _train(bench_mnist):

@@ -10,13 +10,13 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from benchmarks._common import emit, run_once, save_experiment
+from benchmarks._common import bench_epochs, emit, run_once, save_experiment
 from repro.analysis import ExperimentResult, format_table
 from repro.core import FFInt8Config, FFInt8Trainer, SumSquaredGoodness
 from repro.data import LabelOverlay
 from repro.models import build_mlp
 
-EPOCHS = 16
+EPOCHS = bench_epochs(16)
 THETAS = (0.5, 1.0, 2.0, 4.0, 8.0)
 
 

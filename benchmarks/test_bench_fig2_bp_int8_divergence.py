@@ -11,12 +11,12 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks._common import emit, run_once, save_experiment
+from benchmarks._common import bench_epochs, emit, run_once, save_experiment
 from repro.analysis import ExperimentResult, format_table
 from repro.models import build_model
 from repro.training import make_trainer
 
-EPOCHS = 4
+EPOCHS = bench_epochs(4)
 
 
 def _train_both(bench_cifar):

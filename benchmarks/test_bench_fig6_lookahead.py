@@ -11,14 +11,14 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks._common import emit, run_once, save_experiment
+from benchmarks._common import bench_epochs, emit, run_once, save_experiment
 from repro.analysis import ExperimentResult, format_table
 from repro.core import FFInt8Config, FFInt8Trainer
 from repro.models import build_mlp, build_model
 from repro.training.schedules import LinearLambda
 
-MLP_EPOCHS = 24
-RESNET_EPOCHS = 8
+MLP_EPOCHS = bench_epochs(24)
+RESNET_EPOCHS = bench_epochs(8)
 
 # The paper ramps λ by 0.001 per epoch over runs of 130-180 epochs, reaching
 # λ ≈ 0.13-0.18 by convergence.  The reduced-scale benchmarks train for far

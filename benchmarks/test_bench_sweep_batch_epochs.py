@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks._common import emit, run_once, save_experiment
+from benchmarks._common import bench_epochs, emit, run_once, save_experiment
 from repro.analysis import ExperimentResult, format_table
 from repro.hardware import (
     breakeven_ff_epochs,
@@ -23,7 +23,7 @@ from repro.models import build_model
 
 BATCH_SIZES = (8, 16, 32, 64, 128)
 FF_EPOCH_GRID = (20, 30, 36, 45, 60, 90)
-BP_EPOCHS = 30
+BP_EPOCHS = bench_epochs(30)
 
 
 def _run():

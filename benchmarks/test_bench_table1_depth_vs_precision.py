@@ -13,7 +13,7 @@ import pytest
 
 import numpy as np
 
-from benchmarks._common import emit, run_once, save_experiment
+from benchmarks._common import bench_epochs, emit, run_once, save_experiment
 from repro.analysis import ExperimentResult, collect_first_layer_gradients, format_table
 from repro.models import build_mlp
 from repro.quant import QuantConfig, fake_quantize
@@ -26,7 +26,7 @@ PAPER_TABLE1 = {
     2: (94.5, 62.4),
     3: (94.3, 65.2),
 }
-EPOCHS = 6
+EPOCHS = bench_epochs(6)
 HIDDEN_UNITS = 64
 
 

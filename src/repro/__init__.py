@@ -10,7 +10,10 @@ commonly used entry points:
   (:class:`BPTrainer`, :func:`make_trainer`),
 * the Jetson Orin Nano hardware model (:class:`TrainingCostModel`),
 * the serving stack (:func:`export_artifact` → :class:`Int8InferenceEngine`
-  → :class:`MicroBatcher`) for batched INT8 inference from frozen weights.
+  → :class:`MicroBatcher`) for batched INT8 inference from frozen weights,
+* the execution layer (:mod:`repro.runtime`): one compiled plan + pluggable
+  kernel backends (``reference``/``fast``) shared by training, evaluation
+  and serving — select with ``REPRO_BACKEND`` or the CLI ``--backend`` flag.
 
 See ``examples/quickstart.py`` for a 20-line end-to-end run and
 ``examples/serve_quickstart.py`` for the train → export → serve loop.
@@ -43,9 +46,10 @@ from repro.serve import (
     load_artifact,
     save_artifact,
 )
+from repro import runtime
 from repro.training import BPConfig, BPTrainer, make_trainer
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "FFInt8Trainer",
@@ -78,5 +82,6 @@ __all__ = [
     "PredictionCache",
     "ServeConfig",
     "ServeMetrics",
+    "runtime",
     "__version__",
 ]

@@ -37,6 +37,7 @@ from repro.serve import (
     load_artifact,
     save_artifact,
 )
+from repro.runtime import available_backends, use_backend
 from repro.training import ALL_ALGORITHMS, make_trainer
 from repro.utils.serialization import save_json
 
@@ -49,13 +50,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--version", action="version",
                         version=f"repro {__version__}")
+
+    # Options every subcommand shares, so a whole benchmark pipeline
+    # (train -> export -> serve-bench) is reproducible and backend-pinned
+    # with the same two flags on each invocation.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--seed", type=int, default=0,
+                        help="RNG seed for data generation, init and training "
+                             "(shared by every subcommand)")
+    common.add_argument("--backend", default=None,
+                        choices=available_backends(),
+                        help="runtime kernel backend (default: REPRO_BACKEND "
+                             "env var, else 'fast'; both are bit-identical)")
+
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser(
-        "models", help="list registered architectures with parameter counts"
+        "models", parents=[common],
+        help="list registered architectures with parameter counts",
     )
 
-    train = subparsers.add_parser("train", help="train a model with one algorithm")
+    train = subparsers.add_parser("train", parents=[common],
+                                  help="train a model with one algorithm")
     train.add_argument("--model", default="mlp-mini",
                        help="registry name (see `repro models`)")
     train.add_argument("--algorithm", default="FF-INT8", choices=ALL_ALGORITHMS)
@@ -68,7 +84,6 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--test-samples", type=int, default=160)
     train.add_argument("--image-size", type=int, default=None,
                        help="override dataset resolution (e.g. 14 or 16)")
-    train.add_argument("--seed", type=int, default=0)
     train.add_argument("--output", default=None,
                        help="optional path for a JSON run summary")
     train.add_argument("--save-checkpoint", default=None,
@@ -76,7 +91,8 @@ def build_parser() -> argparse.ArgumentParser:
                             "(FF algorithms only)")
 
     estimate = subparsers.add_parser(
-        "estimate", help="estimate Jetson Orin Nano training cost for a model"
+        "estimate", parents=[common],
+        help="estimate Jetson Orin Nano training cost for a model",
     )
     estimate.add_argument("--model", default="resnet18")
     estimate.add_argument("--epochs", type=int, default=None,
@@ -85,7 +101,7 @@ def build_parser() -> argparse.ArgumentParser:
     estimate.add_argument("--batch-size", type=int, default=32)
 
     export = subparsers.add_parser(
-        "export",
+        "export", parents=[common],
         help="freeze a trained model into an immutable INT8 inference artifact",
     )
     export.add_argument("--model", default="mlp-mini",
@@ -101,12 +117,11 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--image-size", type=int, default=None)
     export.add_argument("--per-channel", action="store_true",
                         help="per-output-channel weight scales")
-    export.add_argument("--seed", type=int, default=0)
     export.add_argument("--output", required=True,
                         help="artifact path (writes <output>.npz + <output>.json)")
 
     bench = subparsers.add_parser(
-        "serve-bench",
+        "serve-bench", parents=[common],
         help="benchmark single-sample vs micro-batched INT8 inference",
     )
     bench.add_argument("--model", default="mlp-mini")
@@ -126,7 +141,6 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--cache-size", type=int, default=0,
                        help="LRU prediction-cache capacity (0 disables; kept "
                             "off by default so the speedup is pure batching)")
-    bench.add_argument("--seed", type=int, default=0)
     bench.add_argument("--output", default=None,
                        help="optional path for a JSON benchmark summary")
     return parser
@@ -292,11 +306,10 @@ def _cmd_serve_bench(args) -> int:
     _mini_image_size(args)
     if args.artifact:
         artifact = load_artifact(args.artifact)
-        engine = build_engine(artifact)
         _, test_set = _load_dataset(args)
     else:
         artifact, test_set = _train_and_freeze(args)
-        engine = build_engine(artifact)
+    engine = build_engine(artifact, backend=args.backend)
 
     images = test_set.images
     indices = np.arange(args.requests) % len(images)
@@ -319,7 +332,7 @@ def _cmd_serve_bench(args) -> int:
     config = ServeConfig(
         max_batch_size=args.max_batch_size, max_wait_ms=args.max_wait_ms,
         num_workers=args.workers, cache_capacity=args.cache_size,
-        dedup_inflight=args.cache_size > 0,
+        dedup_inflight=args.cache_size > 0, backend=args.backend,
     )
     batcher = MicroBatcher(engine, config)
     with batcher:
@@ -348,10 +361,11 @@ def _cmd_serve_bench(args) -> int:
               f"workers={args.workers})",
         float_format="{:.2f}",
     ))
+    cache_stats = batcher.cache.stats()
     print(f"batched speedup: {speedup:.2f}x  "
           f"(mean batch size {snap['mean_batch_size']:.1f}, "
           f"{int(snap['batches'])} batches, "
-          f"cache hits {batcher.cache.hits})")
+          f"cache hit rate {cache_stats['hit_rate']:.1%})")
 
     if args.output:
         save_json({
@@ -360,7 +374,7 @@ def _cmd_serve_bench(args) -> int:
             "serve_config": config.as_dict(),
             "single": {"throughput_rps": single_throughput, **single_stats},
             "batched": {"throughput_rps": batched_throughput, **snap},
-            "cache": batcher.cache.stats(),
+            "cache": cache_stats,
             "speedup": speedup,
         }, args.output)
         print(f"benchmark summary written to {args.output}")
@@ -370,16 +384,19 @@ def _cmd_serve_bench(args) -> int:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    if args.command == "models":
-        return _cmd_models()
-    if args.command == "train":
-        return _cmd_train(args)
-    if args.command == "estimate":
-        return _cmd_estimate(args)
-    if args.command == "export":
-        return _cmd_export(args)
-    if args.command == "serve-bench":
-        return _cmd_serve_bench(args)
+    # Every subcommand runs under the selected kernel backend (None defers
+    # to REPRO_BACKEND / the process default).
+    with use_backend(getattr(args, "backend", None)):
+        if args.command == "models":
+            return _cmd_models()
+        if args.command == "train":
+            return _cmd_train(args)
+        if args.command == "estimate":
+            return _cmd_estimate(args)
+        if args.command == "export":
+            return _cmd_export(args)
+        if args.command == "serve-bench":
+            return _cmd_serve_bench(args)
     return 1
 
 

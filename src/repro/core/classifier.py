@@ -7,6 +7,14 @@ with the highest total goodness wins (Hinton 2022, Section III of the paper).
 When the network has two or more hidden layers the first layer's goodness is
 excluded from the sum — the first layer mostly encodes the overlay itself and
 including it hurts discrimination (standard FF practice).
+
+The traversal itself is a compiled :class:`~repro.runtime.plan.ExecutionPlan`
+run by a :class:`~repro.runtime.executor.PlanExecutor` — the same execution
+layer the trainer and the serving engine use.  The classifier probes one
+label overlay at a time (``fold_labels=False``): training-time INT8 engines
+quantize activations with one scale per *batch*, so folding the overlays
+into the batch dimension would change the scales; the frozen serving kernels
+quantize per row and use the folded form.
 """
 
 from __future__ import annotations
@@ -19,6 +27,8 @@ from repro.core.goodness import GoodnessFunction, SumSquaredGoodness
 from repro.data.dataset import ArrayDataset
 from repro.data.overlay import LabelOverlay
 from repro.nn.module import Module
+from repro.runtime.dispatch import BackendLike
+from repro.runtime.executor import PlanExecutor
 
 
 class FFGoodnessClassifier:
@@ -31,6 +41,7 @@ class FFGoodnessClassifier:
         goodness: Optional[GoodnessFunction] = None,
         flatten_input: bool = False,
         skip_first_layer: Optional[bool] = None,
+        backend: BackendLike = None,
     ) -> None:
         if not units:
             raise ValueError("classifier needs at least one trained unit")
@@ -41,37 +52,21 @@ class FFGoodnessClassifier:
         if skip_first_layer is None:
             skip_first_layer = len(self.units) >= 2
         self.skip_first_layer = skip_first_layer
+        self.executor = PlanExecutor.for_units(
+            self.units, flatten_input=flatten_input, backend=backend
+        )
 
     # ------------------------------------------------------------------ #
-    def _forward_goodness(self, inputs: np.ndarray) -> np.ndarray:
-        """Total goodness accumulated over the counted units for one overlay."""
-        hidden = inputs.reshape(inputs.shape[0], -1) if self.flatten_input else inputs
-        total = np.zeros(inputs.shape[0], dtype=np.float64)
-        for index, unit in enumerate(self.units):
-            hidden = unit(hidden)
-            if self.skip_first_layer and index == 0:
-                continue
-            total += self.goodness.value(hidden)
-        return total.astype(np.float32)
-
     def goodness_matrix(self, inputs: np.ndarray) -> np.ndarray:
         """Goodness score for every (sample, candidate label) pair.
 
         Returns an array of shape ``(N, num_classes)``; ``predict`` is its
         row-wise argmax.
         """
-        was_training = [unit.training for unit in self.units]
-        for unit in self.units:
-            unit.eval()
-        candidates = self.overlay.candidates(inputs)
-        scores = np.stack(
-            [self._forward_goodness(candidates[label]) for label in
-             range(self.overlay.num_classes)],
-            axis=1,
+        return self.executor.goodness_matrix(
+            inputs, self.overlay, self.goodness, self.skip_first_layer,
+            fold_labels=False,
         )
-        for unit, mode in zip(self.units, was_training):
-            unit.train(mode)
-        return scores
 
     # ------------------------------------------------------------------ #
     def predict(self, inputs: np.ndarray) -> np.ndarray:
@@ -99,9 +94,5 @@ class FFGoodnessClassifier:
 
     def layer_goodness_profile(self, inputs: np.ndarray) -> List[np.ndarray]:
         """Per-unit goodness values for diagnostics (one array per unit)."""
-        hidden = inputs.reshape(inputs.shape[0], -1) if self.flatten_input else inputs
-        profile = []
-        for unit in self.units:
-            hidden = unit(hidden)
-            profile.append(self.goodness.value(hidden))
-        return profile
+        activations = self.executor.unit_outputs(inputs)
+        return [self.goodness.value(activity) for activity in activations]

@@ -11,6 +11,11 @@ One engine drives every FF variant discussed in the paper:
 
 The configuration object selects the variant; :mod:`repro.core.ff_int8`
 provides the pre-configured FF-INT8 entry points used by the benchmarks.
+
+Forward passes execute through the compiled plan of :mod:`repro.runtime`
+(one :class:`~repro.runtime.executor.PlanExecutor` per fit, kernel backend
+selectable via ``FFConfig.backend``); the backward sweep walks the unit
+modules whose caches the plan filled.
 """
 
 from __future__ import annotations
@@ -24,7 +29,6 @@ from repro.core.classifier import FFGoodnessClassifier
 from repro.core.goodness import GoodnessFunction, build_goodness
 from repro.core.lookahead import (
     accumulate_lookahead_gradients,
-    forward_through_units,
     unit_losses_and_grads,
 )
 from repro.core.losses import FFLoss
@@ -34,6 +38,8 @@ from repro.models.base import ModelBundle
 from repro.nn.module import Module
 from repro.quant.prepare import prepare_int8
 from repro.quant.qconfig import QuantConfig
+from repro.runtime import dispatch
+from repro.runtime.executor import PlanExecutor
 from repro.training.history import EpochRecord, TrainingHistory
 from repro.training.optim import Optimizer, build_optimizer
 from repro.training.schedules import ConstantLambda, LambdaSchedule, LinearLambda
@@ -65,8 +71,11 @@ class FFConfig:
     eval_max_samples: Optional[int] = 256
     train_eval_max_samples: Optional[int] = 128
     seed: int = 0
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
+        if self.backend is not None:
+            dispatch.get_backend(self.backend)  # fail fast on typos
         if self.train_schedule not in ("simultaneous", "greedy"):
             raise ValueError(
                 "train_schedule must be 'simultaneous' or 'greedy', "
@@ -125,8 +134,12 @@ class ForwardForwardTrainer:
             num_classes=train_set.num_classes, amplitude=config.overlay_amplitude
         )
         classifier = FFGoodnessClassifier(
-            units, overlay, goodness=goodness, flatten_input=bundle.flatten_input
+            units, overlay, goodness=goodness, flatten_input=bundle.flatten_input,
+            backend=config.backend,
         )
+        # One compiled plan drives every training forward pass; the backward
+        # sweep still walks the unit modules, whose caches the plan filled.
+        executor = PlanExecutor.for_units(units, backend=config.backend)
         optimizers = self._build_optimizers(units)
 
         history = TrainingHistory(
@@ -145,16 +158,17 @@ class ForwardForwardTrainer:
             },
         )
 
-        if config.train_schedule == "greedy":
-            self._fit_greedy(
-                units, optimizers, goodness, ff_loss, overlay, classifier,
-                bundle, train_set, test_set, history, rng,
-            )
-        else:
-            self._fit_simultaneous(
-                units, optimizers, goodness, ff_loss, overlay, classifier,
-                bundle, train_set, test_set, history, rng,
-            )
+        with dispatch.use_backend(config.backend):
+            if config.train_schedule == "greedy":
+                self._fit_greedy(
+                    executor, units, optimizers, goodness, ff_loss, overlay,
+                    classifier, bundle, train_set, test_set, history, rng,
+                )
+            else:
+                self._fit_simultaneous(
+                    executor, units, optimizers, goodness, ff_loss, overlay,
+                    classifier, bundle, train_set, test_set, history, rng,
+                )
 
         history.metadata["units"] = units
         history.metadata["classifier"] = classifier
@@ -164,8 +178,8 @@ class ForwardForwardTrainer:
     # simultaneous schedule (Algorithm 1)
     # ------------------------------------------------------------------ #
     def _fit_simultaneous(
-        self, units, optimizers, goodness, ff_loss, overlay, classifier,
-        bundle, train_set, test_set, history, rng,
+        self, executor, units, optimizers, goodness, ff_loss, overlay,
+        classifier, bundle, train_set, test_set, history, rng,
     ) -> None:
         config = self.config
         loader = DataLoader(
@@ -179,7 +193,8 @@ class ForwardForwardTrainer:
                 pos = overlay.positive(inputs, labels)
                 neg, _ = overlay.negative(inputs, labels, rng=rng)
                 loss = self._train_step_all_layers(
-                    units, optimizers, goodness, ff_loss, pos, neg, lam
+                    executor, units, optimizers, goodness, ff_loss, pos, neg,
+                    lam,
                 )
                 epoch_losses.append(loss)
             self._record_epoch(
@@ -188,7 +203,8 @@ class ForwardForwardTrainer:
             )
 
     def _train_step_all_layers(
-        self, units, optimizers, goodness, ff_loss, pos_batch, neg_batch, lam
+        self, executor, units, optimizers, goodness, ff_loss, pos_batch,
+        neg_batch, lam,
     ) -> float:
         """One combined positive + negative mini-batch update of every layer.
 
@@ -207,7 +223,7 @@ class ForwardForwardTrainer:
 
         step_losses: List[float] = []
         for positive, batch in ((True, pos_batch), (False, neg_batch)):
-            activations = forward_through_units(units, batch)
+            activations = executor.unit_outputs(batch)
             losses, activity_grads = unit_losses_and_grads(
                 activations, goodness, ff_loss, positive
             )
@@ -231,8 +247,8 @@ class ForwardForwardTrainer:
     # greedy schedule (vanilla FF / FF-INT8 without look-ahead)
     # ------------------------------------------------------------------ #
     def _fit_greedy(
-        self, units, optimizers, goodness, ff_loss, overlay, classifier,
-        bundle, train_set, test_set, history, rng,
+        self, executor, units, optimizers, goodness, ff_loss, overlay,
+        classifier, bundle, train_set, test_set, history, rng,
     ) -> None:
         config = self.config
         epochs_per_layer = config.epochs_per_layer or max(
@@ -250,8 +266,8 @@ class ForwardForwardTrainer:
                     pos = overlay.positive(inputs, labels)
                     neg, _ = overlay.negative(inputs, labels, rng=rng)
                     loss = self._train_step_single_layer(
-                        units, layer_index, unit, optimizer, goodness, ff_loss,
-                        pos, neg,
+                        executor, units, layer_index, unit, optimizer,
+                        goodness, ff_loss, pos, neg,
                     )
                     epoch_losses.append(loss)
                 self._record_epoch(
@@ -262,25 +278,25 @@ class ForwardForwardTrainer:
                 global_epoch += 1
 
     def _train_step_single_layer(
-        self, units, layer_index, unit, optimizer, goodness, ff_loss,
-        pos_batch, neg_batch,
+        self, executor, units, layer_index, unit, optimizer, goodness,
+        ff_loss, pos_batch, neg_batch,
     ) -> float:
         """Greedy update of one layer; earlier layers act as a frozen encoder.
 
-        As in the simultaneous schedule, the positive and negative gradients
-        are accumulated into one balanced optimizer step.
+        The shared plan runs the first ``layer_index + 1`` units; caching is
+        enabled only on the unit being trained, so the frozen prefix holds no
+        backward state.  As in the simultaneous schedule, the positive and
+        negative gradients are accumulated into one balanced optimizer step.
         """
         unit.train()
         unit.set_activation_caching(True)
+        for frozen in units[:layer_index]:
+            frozen.train()
+            frozen.set_activation_caching(False)
         optimizer.zero_grad()
         step_losses: List[float] = []
         for positive, batch in ((True, pos_batch), (False, neg_batch)):
-            hidden = batch
-            for frozen in units[:layer_index]:
-                frozen.train()
-                frozen.set_activation_caching(False)
-                hidden = frozen(hidden)
-            activity = unit(hidden)
+            activity = executor.unit_outputs(batch, limit=layer_index + 1)[-1]
             value = goodness.value(activity)
             step_losses.append(ff_loss.mean_loss(value, positive))
             grad = ff_loss.activity_grad(activity, goodness.grad, value, positive)

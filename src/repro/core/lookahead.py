@@ -34,20 +34,9 @@ import numpy as np
 from repro.core.goodness import GoodnessFunction
 from repro.core.losses import FFLoss
 from repro.nn.module import Module
+from repro.runtime.executor import forward_through_units
 
 LOOKAHEAD_MODES = ("chained", "local")
-
-
-def forward_through_units(
-    units: Sequence[Module], inputs: np.ndarray
-) -> List[np.ndarray]:
-    """Run one shared forward pass, returning every unit's output activity."""
-    activations: List[np.ndarray] = []
-    hidden = inputs
-    for unit in units:
-        hidden = unit(hidden)
-        activations.append(hidden)
-    return activations
 
 
 def unit_losses_and_grads(

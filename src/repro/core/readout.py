@@ -23,6 +23,7 @@ from repro.nn.functional import l2_normalize
 from repro.nn.linear import Linear
 from repro.nn.losses import CrossEntropyLoss, accuracy
 from repro.nn.module import Module
+from repro.runtime.executor import PlanExecutor
 from repro.training.optim import SGD
 from repro.utils.rng import RngLike, new_rng
 
@@ -63,6 +64,9 @@ class SoftmaxReadout:
         self.skip_first_layer = (len(self.units) >= 2) if skip is None else skip
         self.head: Optional[Linear] = None
         self._feature_dim: Optional[int] = None
+        self.executor = PlanExecutor.for_units(
+            self.units, flatten_input=flatten_input
+        )
 
     # ------------------------------------------------------------------ #
     def features(self, inputs: np.ndarray) -> np.ndarray:
@@ -71,26 +75,17 @@ class SoftmaxReadout:
         Inputs get the neutral (uniform) label overlay so that no label
         information leaks into the representation.
         """
-        was_training = [unit.training for unit in self.units]
-        for unit in self.units:
-            unit.eval()
         overlaid = self.overlay.neutral(inputs)
-        hidden = (
-            overlaid.reshape(overlaid.shape[0], -1)
-            if self.flatten_input
-            else overlaid
-        )
+        with self.executor.inference_mode():
+            activations = self.executor.unit_outputs(overlaid)
         collected: List[np.ndarray] = []
-        for index, unit in enumerate(self.units):
-            hidden = unit(hidden)
+        for index, hidden in enumerate(activations):
             if self.skip_first_layer and index == 0:
                 continue
             flat = hidden.reshape(hidden.shape[0], -1)
             if self.config.normalize_features:
                 flat = l2_normalize(flat, axis=1)
             collected.append(flat)
-        for unit, mode in zip(self.units, was_training):
-            unit.train(mode)
         return np.concatenate(collected, axis=1).astype(np.float32)
 
     # ------------------------------------------------------------------ #

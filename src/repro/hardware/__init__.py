@@ -27,7 +27,12 @@ from repro.hardware.estimator import (
     build_table5_summary,
 )
 from repro.hardware.memory_model import MemoryBreakdown, estimate_memory
-from repro.hardware.op_counter import LayerProfile, ModelProfile, profile_bundle
+from repro.hardware.op_counter import (
+    LayerProfile,
+    ModelProfile,
+    ProfileHook,
+    profile_bundle,
+)
 from repro.hardware.sweeps import (
     SweepPoint,
     SweepResult,
@@ -51,6 +56,7 @@ __all__ = [
     "estimate_memory",
     "ModelProfile",
     "LayerProfile",
+    "ProfileHook",
     "profile_bundle",
     "table4_op_counts",
     "PAPER_TABLE4",

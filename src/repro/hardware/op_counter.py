@@ -1,8 +1,11 @@
 """Model profiling: per-layer MAC counts, parameter counts, activation sizes.
 
-The profiler runs one real forward pass through a model with every
-compute-heavy layer temporarily wrapped, recording the number of
-multiply-accumulate operations and the size of every layer output.  These
+The profiler runs one real forward pass through a model with a
+:class:`ProfileHook` registered on the runtime dispatch layer: every leaf
+module forward reports through the instrumentation tap, and the hook records
+the number of multiply-accumulate operations and the size of every layer
+output.  Because the hook sits on the dispatch layer rather than inside any
+kernel, the same profile is observed whichever backend executes — these
 per-sample quantities feed the training cost model (Table IV / Table V) and
 the memory model.
 """
@@ -10,7 +13,7 @@ the memory model.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import List, Optional
 
 import numpy as np
 
@@ -18,6 +21,7 @@ from repro.models.base import ModelBundle
 from repro.nn.conv import Conv2d, DepthwiseConv2d
 from repro.nn.linear import Linear
 from repro.nn.module import Module
+from repro.runtime import instrument
 
 
 @dataclass
@@ -90,50 +94,50 @@ def _layer_macs(module: Module, inputs: np.ndarray, outputs: np.ndarray) -> floa
     return 0.0
 
 
-class _ForwardRecorder:
-    """Context manager that wraps leaf forwards to record MACs/activations."""
+class ProfileHook(instrument.Instrumentation):
+    """Dispatch-layer hook recording per-leaf MACs and activation sizes.
 
-    def __init__(self, model: Module) -> None:
-        self.model = model
+    Registered while a forward pass runs; it sees every module the runtime
+    executes (whatever backend) and keeps the records the old forward-wrapping
+    recorder produced: one :class:`LayerProfile` per compute-heavy leaf call
+    plus the total activation element count across all leaves.
+
+    ``model`` scopes the hook: the instrumentation registry is process-global
+    (so hooks can watch multi-threaded engines), but a profile must only
+    count the profiled model — traffic from unrelated models running
+    concurrently (e.g. a serving engine's workers) is ignored.
+    """
+
+    def __init__(self, model: Optional[Module] = None) -> None:
         self.records: List[LayerProfile] = []
         self.activation_elements = 0.0
-        self._originals: Dict[int, tuple] = {}
+        self._module_ids: dict = {}
+        self._scope = (
+            None if model is None else {id(m) for m in model.modules()}
+        )
 
-    def __enter__(self) -> "_ForwardRecorder":
-        for index, module in enumerate(self.model.modules()):
-            if module is self.model:
-                continue
-            if module._modules:
-                continue  # only wrap leaves
-            original = module.forward
-            self._originals[id(module)] = (module, original)
-            module.forward = self._wrap(module, original, index)  # type: ignore[assignment]
-        return self
+    def _index_of(self, module: Module) -> int:
+        return self._module_ids.setdefault(id(module), len(self._module_ids))
 
-    def __exit__(self, *exc_info) -> None:
-        for module, original in self._originals.values():
-            module.forward = original  # type: ignore[assignment]
-        self._originals.clear()
-
-    def _wrap(self, module: Module, original, index: int):
-        def wrapped(x: np.ndarray) -> np.ndarray:
-            out = original(x)
-            if isinstance(out, np.ndarray):
-                self.activation_elements += float(out.size)
-                macs = _layer_macs(module, x, out)
-                if macs > 0:
-                    self.records.append(
-                        LayerProfile(
-                            name=f"{type(module).__name__}_{index}",
-                            kind=type(module).__name__,
-                            macs=macs,
-                            parameters=module.num_parameters(),
-                            output_elements=float(out.size),
-                        )
-                    )
-            return out
-
-        return wrapped
+    def on_module(self, module: Module, inputs, output) -> None:
+        if self._scope is not None and id(module) not in self._scope:
+            return
+        if module._modules:
+            return  # only record leaves; containers re-report their children
+        if not isinstance(output, np.ndarray):
+            return
+        self.activation_elements += float(output.size)
+        macs = _layer_macs(module, inputs, output)
+        if macs > 0:
+            self.records.append(
+                LayerProfile(
+                    name=f"{type(module).__name__}_{self._index_of(module)}",
+                    kind=type(module).__name__,
+                    macs=macs,
+                    parameters=module.num_parameters(),
+                    output_elements=float(output.size),
+                )
+            )
 
 
 def profile_bundle(bundle: ModelBundle, batch_size: int = 2) -> ModelProfile:
@@ -146,7 +150,7 @@ def profile_bundle(bundle: ModelBundle, batch_size: int = 2) -> ModelProfile:
     sample = np.zeros((batch_size, *bundle.input_shape), dtype=np.float32)
     inputs = sample.reshape(batch_size, -1) if bundle.flatten_input else sample
 
-    with _ForwardRecorder(model) as recorder:
+    with instrument.instrumented(ProfileHook(model)) as recorder:
         model(inputs)
 
     scale = 1.0 / batch_size

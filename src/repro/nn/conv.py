@@ -21,6 +21,7 @@ from repro.nn import init
 from repro.nn.functional import col2im, conv_output_size, im2col
 from repro.nn.module import Module
 from repro.nn.parameter import Parameter
+from repro.runtime import dispatch
 from repro.utils.rng import RngLike, new_rng
 
 IntPair = Union[int, Tuple[int, int]]
@@ -91,7 +92,7 @@ class Conv2d(Module):
         if self.quant_engine is not None:
             out = self.quant_engine.linear_forward(cols, weight_matrix)
         else:
-            out = cols @ weight_matrix.T
+            out = dispatch.matmul(cols, weight_matrix.T)
         if self.bias is not None:
             out = out + self.bias.data
         out = out.reshape(batch, out_h, out_w, self.out_channels)
@@ -109,13 +110,13 @@ class Conv2d(Module):
         if self.quant_engine is not None:
             grad_weight = self.quant_engine.linear_weight_grad(grad_matrix, cols)
         else:
-            grad_weight = grad_matrix.T @ cols
+            grad_weight = dispatch.matmul(grad_matrix.T, cols)
         self.weight.accumulate_grad(grad_weight.reshape(self.weight.data.shape))
         if self.bias is not None:
             self.bias.accumulate_grad(grad_matrix.sum(axis=0))
 
         weight_matrix = self.weight.data.reshape(self.out_channels, -1)
-        grad_cols = grad_matrix @ weight_matrix
+        grad_cols = dispatch.matmul(grad_matrix, weight_matrix)
         grad_input = col2im(
             grad_cols, input_shape, self.kernel_size, self.stride, self.padding
         )

@@ -18,6 +18,7 @@ import numpy as np
 from repro.nn import init
 from repro.nn.module import Module
 from repro.nn.parameter import Parameter
+from repro.runtime import dispatch
 from repro.utils.rng import RngLike, new_rng
 
 
@@ -61,7 +62,7 @@ class Linear(Module):
         if self.quant_engine is not None:
             out = self.quant_engine.linear_forward(x, self.weight.data)
         else:
-            out = x @ self.weight.data.T
+            out = dispatch.matmul(x, self.weight.data.T)
         if self.bias is not None:
             out = out + self.bias.data
         return out.astype(np.float32)
@@ -72,11 +73,11 @@ class Linear(Module):
         if self.quant_engine is not None:
             grad_weight = self.quant_engine.linear_weight_grad(grad_output, x)
         else:
-            grad_weight = grad_output.T @ x
+            grad_weight = dispatch.matmul(grad_output.T, x)
         self.weight.accumulate_grad(grad_weight)
         if self.bias is not None:
             self.bias.accumulate_grad(grad_output.sum(axis=0))
-        return (grad_output @ self.weight.data).astype(np.float32)
+        return dispatch.matmul(grad_output, self.weight.data).astype(np.float32)
 
     def local_weight_grad(
         self, grad_output: np.ndarray, x: np.ndarray
@@ -88,7 +89,7 @@ class Linear(Module):
         """
         if self.quant_engine is not None:
             return self.quant_engine.linear_weight_grad(grad_output, x)
-        return (grad_output.T @ x).astype(np.float32)
+        return dispatch.matmul(grad_output.T, x).astype(np.float32)
 
     def extra_repr(self) -> str:
         return (

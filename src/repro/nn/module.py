@@ -21,6 +21,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 import numpy as np
 
 from repro.nn.parameter import Parameter
+from repro.runtime import instrument
 
 
 class Module:
@@ -167,7 +168,13 @@ class Module:
         raise NotImplementedError
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
-        return self.forward(x)
+        out = self.forward(x)
+        # The dispatch-layer instrumentation tap: profilers and op counters
+        # observe every module forward here, whatever backend executes the
+        # kernels inside.
+        if instrument.hooks_active():
+            instrument.emit_module(self, x, out)
+        return out
 
     # ------------------------------------------------------------------ #
     # misc

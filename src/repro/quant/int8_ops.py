@@ -1,59 +1,33 @@
-"""Integer GEMM kernels with INT8 operands and INT32 accumulation.
+"""Integer GEMM entry points with INT8 operands and exact accumulation.
 
 These kernels are the computational heart of FF-INT8 (Figure 4 of the paper):
 the forward activation matmul and the weight-gradient matmul both run on
-``int8`` operands accumulated in ``int32``, exactly like the INT8 engine on a
-Jetson Orin Nano.  All kernels also report the number of 8-bit MUL/ADD
-operations performed so that :mod:`repro.hardware` can reproduce Table IV.
+``int8`` operands, exactly like the INT8 engine on a Jetson Orin Nano.
+
+Since the :mod:`repro.runtime` refactor the actual kernels live in the
+pluggable backends (``reference`` keeps the seed INT32-accumulation NumPy
+path, ``fast`` uses exact-float32 BLAS GEMMs); this module keeps the
+quantization *policy* — SUQ scale derivation, stochastic rounding, the
+requantization rescale — and routes every matmul through
+:mod:`repro.runtime.dispatch`, which also feeds the operation counters
+behind Table IV.  :class:`OpCounts` itself now lives in
+:mod:`repro.runtime.instrument` and is re-exported here unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
 
 from repro.quant.qconfig import QuantConfig
-from repro.quant.suq import compute_scale, quantize
+from repro.quant.suq import quantize
+from repro.runtime import dispatch
+from repro.runtime.backends import integer_matmul
+from repro.runtime.instrument import OpCounts, emit_quantize
 from repro.utils.rng import RngLike
 
-
-@dataclass
-class OpCounts:
-    """Cumulative operation counts performed by an integer engine."""
-
-    int8_mul: int = 0
-    int8_add: int = 0
-    fp32_cmp: int = 0
-    fp32_add: int = 0
-    fp32_mul: int = 0
-
-    def merge(self, other: "OpCounts") -> None:
-        """Accumulate counts from another counter in place."""
-        self.int8_mul += other.int8_mul
-        self.int8_add += other.int8_add
-        self.fp32_cmp += other.fp32_cmp
-        self.fp32_add += other.fp32_add
-        self.fp32_mul += other.fp32_mul
-
-    def reset(self) -> None:
-        """Zero every counter."""
-        self.int8_mul = 0
-        self.int8_add = 0
-        self.fp32_cmp = 0
-        self.fp32_add = 0
-        self.fp32_mul = 0
-
-    def as_dict(self) -> dict[str, int]:
-        """Counts as a plain dictionary (for reports/serialization)."""
-        return {
-            "int8_mul": self.int8_mul,
-            "int8_add": self.int8_add,
-            "fp32_cmp": self.fp32_cmp,
-            "fp32_add": self.fp32_add,
-            "fp32_mul": self.fp32_mul,
-        }
+__all__ = ["OpCounts", "int8_matmul", "Int8Engine"]
 
 
 def int8_matmul(
@@ -61,10 +35,12 @@ def int8_matmul(
 ) -> np.ndarray:
     """Integer GEMM with INT32 accumulation (INT64 for wide operands).
 
-    The standard path takes int8 operands and accumulates in int32, matching
-    hardware MAC arrays (products are 16-bit, accumulation 32-bit never
-    overflows for K < 2^16).  Wider integer operands (int16/int32, used by the
-    bit-width ablation) accumulate in int64.
+    This is the *reference* integer kernel: int8 operands accumulate in
+    int32, matching hardware MAC arrays (products are 16-bit, accumulation
+    32-bit never overflows for K < 2^16); wider integer operands
+    (int16/int32, used by the bit-width ablation) accumulate in int64.
+    Backend-routed execution goes through :func:`repro.runtime.dispatch.int8_gemm`
+    instead, which may pick a faster exact kernel.
     """
     if lhs_q.dtype.kind != "i" or rhs_q.dtype.kind != "i":
         raise TypeError(
@@ -75,9 +51,7 @@ def int8_matmul(
         raise ValueError(
             f"inner dimensions do not match: {lhs_q.shape} @ {rhs_q.shape}"
         )
-    narrow = lhs_q.dtype == np.int8 and rhs_q.dtype == np.int8
-    accumulator = np.int32 if narrow else np.int64
-    result = lhs_q.astype(accumulator) @ rhs_q.astype(accumulator)
+    result = integer_matmul(lhs_q, rhs_q)
     if counts is not None:
         macs = int(lhs_q.shape[0] * lhs_q.shape[-1] * rhs_q.shape[-1])
         counts.int8_mul += macs
@@ -89,10 +63,10 @@ class Int8Engine:
     """Quantized execution engine attached to Linear / Conv2d modules.
 
     The engine quantizes activations and weights with SUQ + stochastic
-    rounding, performs the integer GEMM, and rescales the INT32 accumulator
-    back to float32 with the product of the two scales — the standard
-    requantization used by integer inference engines, applied here to
-    training.
+    rounding, performs the integer GEMM on the active runtime backend, and
+    rescales the exact accumulator back to float32 with the product of the
+    two scales — the standard requantization used by integer inference
+    engines, applied here to training.
     """
 
     def __init__(self, config: Optional[QuantConfig] = None, rng: RngLike = None):
@@ -106,8 +80,7 @@ class Int8Engine:
         # Scale derivation: one comparison per element (max reduction) and the
         # division/round per element count as FP32 work in Table IV's
         # "quantization phase".
-        self.counts.fp32_cmp += int(values.size)
-        self.counts.fp32_add += int(values.size)
+        emit_quantize(int(values.size), self.counts)
         return q, scale
 
     # ------------------------------------------------------------------ #
@@ -120,7 +93,9 @@ class Int8Engine:
         axis = 0 if self.config.per_channel else None
         x_q, x_scale = self._quantize(x)
         w_q, w_scale = self._quantize(weight, axis=axis)
-        acc = int8_matmul(x_q, np.ascontiguousarray(w_q.T), counts=self.counts)
+        acc = dispatch.int8_gemm(
+            x_q, np.ascontiguousarray(w_q.T), counts=self.counts
+        )
         if self.config.per_channel and np.ndim(w_scale) == 1:
             rescale = float(x_scale) * np.asarray(w_scale)[None, :]
         else:
@@ -131,8 +106,10 @@ class Int8Engine:
         """Compute ``grad_output.T @ x`` (the weight gradient) in INT8."""
         g_q, g_scale = self._quantize(grad_output)
         x_q, x_scale = self._quantize(x)
-        acc = int8_matmul(
-            np.ascontiguousarray(g_q.T), np.ascontiguousarray(x_q), counts=self.counts
+        acc = dispatch.int8_gemm(
+            np.ascontiguousarray(g_q.T),
+            np.ascontiguousarray(x_q),
+            counts=self.counts,
         )
         return (acc.astype(np.float64) * (float(g_scale) * float(x_scale))).astype(
             np.float32
@@ -147,12 +124,7 @@ class Int8Engine:
         """
         c_q, c_scale = self._quantize(cols)
         w_q, w_scale = self._quantize(weight)
-        acc = np.einsum(
-            "pck,ck->pc", c_q.astype(np.int32), w_q.astype(np.int32), dtype=np.int64
-        )
-        macs = int(cols.shape[0] * cols.shape[1] * cols.shape[2])
-        self.counts.int8_mul += macs
-        self.counts.int8_add += macs
+        acc = dispatch.int8_depthwise(c_q, w_q, counts=self.counts)
         return (acc.astype(np.float64) * (float(c_scale) * float(w_scale))).astype(
             np.float32
         )
@@ -163,12 +135,7 @@ class Int8Engine:
         """Depthwise weight gradient ``sum_p grad[p, c] * cols[p, c, k]`` in INT8."""
         g_q, g_scale = self._quantize(grad_matrix)
         c_q, c_scale = self._quantize(cols)
-        acc = np.einsum(
-            "pc,pck->ck", g_q.astype(np.int32), c_q.astype(np.int32), dtype=np.int64
-        )
-        macs = int(cols.shape[0] * cols.shape[1] * cols.shape[2])
-        self.counts.int8_mul += macs
-        self.counts.int8_add += macs
+        acc = dispatch.int8_depthwise_grad(g_q, c_q, counts=self.counts)
         return (acc.astype(np.float64) * (float(g_scale) * float(c_scale))).astype(
             np.float32
         )

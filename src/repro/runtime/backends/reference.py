@@ -1,0 +1,103 @@
+"""Reference kernel backend: plain NumPy, bit-identical to the seed code.
+
+Every kernel here is the exact arithmetic the repo shipped with before the
+runtime layer existed: FP32 GEMMs via ``@``, integer GEMMs with INT8 operands
+accumulated in INT32 (INT64 for the wide-operand bit-width ablations), and
+depthwise inner products via integer ``einsum``.  The reference backend is
+the correctness oracle the fast backend is tested against.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.runtime.backends.base import Backend
+
+
+def integer_matmul(lhs_q: np.ndarray, rhs_q: np.ndarray) -> np.ndarray:
+    """Integer GEMM with INT32 accumulation (INT64 for wide operands).
+
+    Shared by both backends as the exactness fallback: products of int8
+    operands are 16-bit and INT32 accumulation never overflows for
+    K < 2^16; wider operands (int16/int32) accumulate in INT64.
+    """
+    narrow = lhs_q.dtype == np.int8 and rhs_q.dtype == np.int8
+    accumulator = np.int32 if narrow else np.int64
+    return lhs_q.astype(accumulator) @ rhs_q.astype(accumulator)
+
+
+def rowwise_scales(values: np.ndarray, qmax: int) -> np.ndarray:
+    """Per-row symmetric quantization scales (float32, never zero)."""
+    flat = np.abs(values.reshape(values.shape[0], -1))
+    extremes = flat.max(axis=1) if flat.size else np.zeros(
+        values.shape[0], dtype=np.float32
+    )
+    return (np.maximum(extremes, np.float32(1e-12)) / np.float32(qmax)).astype(
+        np.float32
+    )
+
+
+def rowwise_levels(
+    values: np.ndarray, scales: np.ndarray, qmax: int
+) -> np.ndarray:
+    """Nearest-rounded, clipped quantization levels as float32 integers."""
+    levels = values / scales.reshape((-1,) + (1,) * (values.ndim - 1))
+    np.rint(levels, out=levels)
+    np.clip(levels, -qmax, qmax, out=levels)
+    return levels
+
+
+class ReferenceBackend(Backend):
+    """The seed NumPy kernels, unchanged."""
+
+    name = "reference"
+
+    # ------------------------------------------------------------------ #
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return a @ b
+
+    def int8_gemm(self, lhs_q: np.ndarray, rhs_q: np.ndarray) -> np.ndarray:
+        return integer_matmul(lhs_q, rhs_q)
+
+    def int8_depthwise(
+        self, cols_q: np.ndarray, weight_q: np.ndarray
+    ) -> np.ndarray:
+        return np.einsum(
+            "pck,ck->pc",
+            cols_q.astype(np.int32),
+            weight_q.astype(np.int32),
+            dtype=np.int64,
+        )
+
+    def int8_depthwise_grad(
+        self, grad_q: np.ndarray, cols_q: np.ndarray
+    ) -> np.ndarray:
+        return np.einsum(
+            "pc,pck->ck",
+            grad_q.astype(np.int32),
+            cols_q.astype(np.int32),
+            dtype=np.int64,
+        )
+
+    def rowwise_quantized_gemm(
+        self,
+        x: np.ndarray,
+        rhs_q: np.ndarray,
+        qmax: int,
+        rhs_f32: Optional[np.ndarray] = None,
+        exact_f32: bool = False,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        x = np.asarray(x, dtype=np.float32)
+        scales = rowwise_scales(x, qmax)
+        q = rowwise_levels(x, scales, qmax).astype(np.int8)
+        return integer_matmul(q, rhs_q), scales
+
+    def rowwise_quantize(
+        self, values: np.ndarray, qmax: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        values = np.asarray(values, dtype=np.float32)
+        scales = rowwise_scales(values, qmax)
+        q = rowwise_levels(values, scales, qmax).astype(np.int8)
+        return q, scales

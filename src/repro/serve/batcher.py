@@ -25,6 +25,7 @@ from typing import Callable, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.runtime.dispatch import use_backend
 from repro.serve.cache import PredictionCache, input_digest
 from repro.serve.config import ServeConfig
 from repro.serve.metrics import ServeMetrics
@@ -176,6 +177,10 @@ class MicroBatcher:
             dtype=np.int64,
         )
 
+    def format_report(self, title: str = "serving metrics") -> str:
+        """Metrics report including the prediction cache's hit-rate."""
+        return self.metrics.format_report(title, cache_stats=self.cache.stats())
+
     # ------------------------------------------------------------------ #
     # worker internals
     # ------------------------------------------------------------------ #
@@ -225,7 +230,11 @@ class MicroBatcher:
     def _serve_batch(self, batch: List[_Request]) -> None:
         inputs = np.stack([request.sample for request in batch])
         try:
-            labels = self._predict(inputs)
+            # Worker threads do not inherit the submitter's thread-local
+            # backend override, so the config's backend selection is applied
+            # here (None defers to the ambient runtime default).
+            with use_backend(getattr(self.config, "backend", None)):
+                labels = self._predict(inputs)
         except BaseException as error:  # propagate to every waiting client
             for request in batch:
                 request.future.set_exception(error)

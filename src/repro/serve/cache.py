@@ -80,17 +80,26 @@ class PredictionCache:
             return key in self._entries
 
     # ------------------------------------------------------------------ #
-    def hit_rate(self) -> float:
-        """Fraction of lookups served from the cache."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
-
     def stats(self) -> Dict[str, Any]:
-        """Counters for reports and the serve benchmark."""
+        """Consistent snapshot of the counters for reports and benchmarks.
+
+        Hits, misses and the entry count are read together under the lock, so
+        the derived hit rate can never mix counters from two different
+        moments while worker threads keep serving.
+        """
+        with self._lock:
+            hits = self.hits
+            misses = self.misses
+            entries = len(self._entries)
+        total = hits + misses
         return {
             "capacity": self.capacity,
-            "entries": len(self),
-            "hits": self.hits,
-            "misses": self.misses,
-            "hit_rate": self.hit_rate(),
+            "entries": entries,
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / total if total else 0.0,
         }
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        return float(self.stats()["hit_rate"])

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Any, Dict
 
+from repro.runtime.backends import Backend, get_backend
+
 
 class ServeConfig:
     """Configuration of the batched INT8 inference service.
@@ -36,6 +38,10 @@ class ServeConfig:
         Idle workers re-check the shutdown flag at this interval.
     request_timeout_s:
         Default timeout when synchronously waiting for a prediction.
+    backend:
+        Runtime kernel backend for the engine (``"reference"``/``"fast"``);
+        ``None`` defers to the ambient :mod:`repro.runtime` selection
+        (``REPRO_BACKEND`` or the process default).
     """
 
     config_type = "serve"
@@ -49,6 +55,7 @@ class ServeConfig:
         dedup_inflight: bool = True,
         poll_timeout_ms: float = 20.0,
         request_timeout_s: float = 30.0,
+        backend: Any = None,
         **kwargs: Any,
     ) -> None:
         if max_batch_size < 1:
@@ -71,6 +78,9 @@ class ServeConfig:
         self.dedup_inflight = bool(dedup_inflight)
         self.poll_timeout_ms = float(poll_timeout_ms)
         self.request_timeout_s = float(request_timeout_s)
+        if backend is not None and not isinstance(backend, Backend):
+            get_backend(backend)  # fail at construction, not in a worker
+        self.backend = backend
 
         # Derived fields used by the hot path (seconds, not milliseconds).
         self.max_wait_s = self.max_wait_ms / 1000.0
@@ -92,6 +102,7 @@ class ServeConfig:
             "dedup_inflight": self.dedup_inflight,
             "poll_timeout_ms": self.poll_timeout_ms,
             "request_timeout_s": self.request_timeout_s,
+            "backend": getattr(self.backend, "name", self.backend),
         }
         for key in self._extra_keys:
             payload[key] = getattr(self, key)

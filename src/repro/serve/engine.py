@@ -14,9 +14,12 @@ Two properties distinguish this engine from the training-side
   bit-for-bit with per-sample :class:`FFGoodnessClassifier` inference over
   the same frozen units.
 
-Classification itself folds the ``num_classes`` label overlays into the
-batch dimension: one vectorized pass over ``(num_classes * N)`` rows replaces
-the per-label loop, which is where the batched throughput comes from.
+Execution routes through :mod:`repro.runtime`: the frozen units are compiled
+into an :class:`~repro.runtime.plan.ExecutionPlan` whose folded-label
+read-out (all ``num_classes`` overlays stacked into the batch dimension) is
+one traversal instead of ``num_classes``; the INT8 GEMMs dispatch to the
+selected kernel backend (the ``fast`` backend runs them as exact-float32
+BLAS calls with fused per-row quantization — the default serving path).
 """
 
 from __future__ import annotations
@@ -32,7 +35,11 @@ from repro.models.base import ModelBundle
 from repro.models.registry import build_model
 from repro.nn.module import Module
 from repro.nn.norm import _BatchNormBase
-from repro.quant.int8_ops import OpCounts, int8_matmul
+from repro.quant.int8_ops import OpCounts
+from repro.runtime import dispatch
+from repro.runtime.backends import exact_f32_possible
+from repro.runtime.dispatch import BackendLike
+from repro.runtime.executor import PlanExecutor
 from repro.serve.export import (
     _BUFFER_NAMES,
     _QUANTIZABLE,
@@ -56,22 +63,7 @@ def rowwise_quantize(
     (deterministic and row-wise, so bit-identity across batch compositions is
     preserved) to keep the serving hot path off the float64 slow lane.
     """
-    values = np.asarray(values, dtype=np.float32)
-    flat = np.abs(values.reshape(values.shape[0], -1))
-    extremes = flat.max(axis=1) if flat.size else np.zeros(
-        values.shape[0], dtype=np.float32
-    )
-    scales = (np.maximum(extremes, np.float32(1e-12)) / np.float32(qmax)).astype(
-        np.float32
-    )
-    levels = values / scales.reshape((-1,) + (1,) * (values.ndim - 1))
-    np.rint(levels, out=levels)
-    np.clip(levels, -qmax, qmax, out=levels)
-    q = levels.astype(np.int8)
-    if counts is not None:
-        counts.fp32_cmp += int(values.size)
-        counts.fp32_add += int(values.size)
-    return q, scales
+    return dispatch.rowwise_quantize(values, qmax, counts=counts)
 
 
 class FrozenInt8Kernel:
@@ -90,6 +82,7 @@ class FrozenInt8Kernel:
         weight_scale: np.ndarray,
         counts: Optional[OpCounts] = None,
         qmax: int = 127,
+        backend: BackendLike = None,
     ) -> None:
         if weight_q.dtype != np.int8:
             raise TypeError(f"frozen weights must be int8, got {weight_q.dtype}")
@@ -104,17 +97,25 @@ class FrozenInt8Kernel:
         self._weight_scale32 = self.weight_scale.astype(np.float32)
         self.qmax = int(qmax)
         self.counts = counts if counts is not None else OpCounts()
-        # INT8 GEMM via float32 BLAS: every product is <= qmax^2 and any
-        # partial sum of K such terms is bounded by K * qmax^2, so while that
-        # bound stays below 2^24 (float32's exact-integer range) the sgemm
-        # result is the exact integer accumulation — bit-identical to the
-        # int32 path for every summation order, and an order of magnitude
-        # faster than NumPy's non-BLAS integer matmul.
+        self.backend = backend
+        # Whether an exact-float32 GEMM is possible for this layer (see the
+        # fast backend): every partial sum of K = reduce_dim products stays
+        # below 2^24, float32's exact-integer range.
         reduce_dim = self.weight_qT.shape[0]
-        self._exact_f32 = reduce_dim * qmax * qmax < 2 ** 24
-        self._weight_qT_f32 = (
-            self.weight_qT.astype(np.float32) if self._exact_f32 else None
-        )
+        self._exact_f32 = exact_f32_possible(reduce_dim, self.qmax)
+        # Float32 copy of the transposed weight, materialized lazily and
+        # only for backends that read it (a reference-backend engine never
+        # pays the 4x memory).
+        self._weight_qT_f32: Optional[np.ndarray] = None
+
+    def _rhs_f32_for(self, backend) -> Optional[np.ndarray]:
+        if not (self._exact_f32 and backend.wants_f32_rhs):
+            return None
+        if self._weight_qT_f32 is None:
+            # Worker threads may race here; both compute the same array and
+            # the attribute store is atomic, so the duplicate work is benign.
+            self._weight_qT_f32 = self.weight_qT.astype(np.float32)
+        return self._weight_qT_f32
 
     # ------------------------------------------------------------------ #
     def _rescale(self, acc: np.ndarray, row_scales: np.ndarray) -> np.ndarray:
@@ -128,28 +129,26 @@ class FrozenInt8Kernel:
 
     def linear_forward(self, x: np.ndarray, weight: np.ndarray) -> np.ndarray:
         """``x @ frozen_weight.T`` with INT8 operands (``weight`` ignored)."""
-        x_q, x_scales = rowwise_quantize(x, self.qmax, self.counts)
-        if self._exact_f32:
-            acc = x_q.astype(np.float32) @ self._weight_qT_f32
-            macs = int(x_q.shape[0] * x_q.shape[1] * self.weight_qT.shape[1])
-            self.counts.int8_mul += macs
-            self.counts.int8_add += macs
-        else:
-            acc = int8_matmul(x_q, self.weight_qT, counts=self.counts)
+        backend = dispatch.active_backend(self.backend)
+        acc, x_scales = dispatch.rowwise_quantized_gemm(
+            x,
+            self.weight_qT,
+            qmax=self.qmax,
+            rhs_f32=self._rhs_f32_for(backend),
+            exact_f32=self._exact_f32,
+            counts=self.counts,
+            backend=backend,
+        )
         return self._rescale(acc, x_scales)
 
     def depthwise_forward(self, cols: np.ndarray, weight: np.ndarray) -> np.ndarray:
         """Depthwise inner product with INT8 operands (``weight`` ignored)."""
-        c_q, c_scales = rowwise_quantize(cols, self.qmax, self.counts)
-        acc = np.einsum(
-            "pck,ck->pc",
-            c_q.astype(np.int32),
-            self.weight_q.astype(np.int32),
-            dtype=np.int64,
+        c_q, c_scales = dispatch.rowwise_quantize(
+            cols, self.qmax, counts=self.counts, backend=self.backend
         )
-        macs = int(cols.shape[0] * cols.shape[1] * cols.shape[2])
-        self.counts.int8_mul += macs
-        self.counts.int8_add += macs
+        acc = dispatch.int8_depthwise(
+            c_q, self.weight_q, counts=self.counts, backend=self.backend
+        )
         return self._rescale(acc, c_scales)
 
     # ------------------------------------------------------------------ #
@@ -170,7 +169,10 @@ class FrozenInt8Kernel:
 # artifact -> frozen modules
 # --------------------------------------------------------------------------- #
 def _restore_frozen_units(
-    artifact: InferenceArtifact, bundle: ModelBundle, counts: OpCounts
+    artifact: InferenceArtifact,
+    bundle: ModelBundle,
+    counts: OpCounts,
+    backend: BackendLike = None,
 ) -> List[Module]:
     """Rebuild the bundle's FF units with frozen INT8 kernels attached."""
     units = bundle.ff_units()
@@ -199,7 +201,9 @@ def _restore_frozen_units(
                     np.float32
                 )
                 module.weight.copy_(dequantized.reshape(module.weight.data.shape))
-                module.quant_engine = FrozenInt8Kernel(matrix, scale, counts=counts)
+                module.quant_engine = FrozenInt8Kernel(
+                    matrix, scale, counts=counts, backend=backend
+                )
                 frozen_names.add(f"{path}weight")
             elif isinstance(module, _BatchNormBase):
                 for buffer_name in _BUFFER_NAMES:
@@ -240,6 +244,9 @@ class Int8InferenceEngine:
 
     The engine owns nothing trainable: units run in eval mode with activation
     caching disabled, so a forward pass allocates no gradient or cache state.
+    The folded-label read-out executes the units' compiled plan once for all
+    ``num_classes`` overlays — valid because the frozen kernels quantize
+    activations per row.
     """
 
     def __init__(
@@ -250,6 +257,7 @@ class Int8InferenceEngine:
         flatten_input: bool = False,
         skip_first_layer: Optional[bool] = None,
         counts: Optional[OpCounts] = None,
+        backend: BackendLike = None,
     ) -> None:
         if not units:
             raise ValueError("engine needs at least one frozen unit")
@@ -266,18 +274,28 @@ class Int8InferenceEngine:
         for unit in self.units:
             unit.eval()
             unit.set_activation_caching(False)
+        # Units are permanently eval from here on; static_eval spares the
+        # per-batch mode save/restore walk on the serving hot path.
+        self.executor = PlanExecutor.for_units(
+            self.units, flatten_input=flatten_input, backend=backend,
+            static_eval=True,
+        )
 
     # ------------------------------------------------------------------ #
     @classmethod
     def from_artifact(
-        cls, artifact: InferenceArtifact, bundle: Optional[ModelBundle] = None
+        cls,
+        artifact: InferenceArtifact,
+        bundle: Optional[ModelBundle] = None,
+        backend: BackendLike = None,
     ) -> "Int8InferenceEngine":
         """Materialize an engine from an exported artifact.
 
         When ``bundle`` is omitted the module skeleton is rebuilt from the
         artifact's registry reference.  The passed bundle's blocks are frozen
         in place (weights overwritten, INT8 kernels attached) — do not keep
-        training it afterwards.
+        training it afterwards.  ``backend`` pins a kernel backend for this
+        engine; by default the ambient runtime selection applies.
         """
         if bundle is None:
             bundle = _bundle_from_metadata(artifact)
@@ -287,7 +305,7 @@ class Int8InferenceEngine:
                 f"{artifact.num_classes}"
             )
         counts = OpCounts()
-        units = _restore_frozen_units(artifact, bundle, counts)
+        units = _restore_frozen_units(artifact, bundle, counts, backend=backend)
         overlay = LabelOverlay(
             num_classes=artifact.num_classes, amplitude=artifact.overlay_amplitude
         )
@@ -298,23 +316,13 @@ class Int8InferenceEngine:
             flatten_input=artifact.flatten_input,
             skip_first_layer=artifact.skip_first_layer,
             counts=counts,
+            backend=backend,
         )
 
     # ------------------------------------------------------------------ #
     @property
     def num_classes(self) -> int:
         return self.overlay.num_classes
-
-    def _forward_goodness(self, inputs: np.ndarray) -> np.ndarray:
-        """Accumulated goodness per row (same contract as the classifier)."""
-        hidden = inputs.reshape(inputs.shape[0], -1) if self.flatten_input else inputs
-        total = np.zeros(inputs.shape[0], dtype=np.float64)
-        for index, unit in enumerate(self.units):
-            hidden = unit(hidden)
-            if self.skip_first_layer and index == 0:
-                continue
-            total += self.goodness.value(hidden)
-        return total.astype(np.float32)
 
     def goodness_matrix(self, inputs: np.ndarray) -> np.ndarray:
         """Goodness for every (sample, label) pair in one vectorized pass.
@@ -323,14 +331,10 @@ class Int8InferenceEngine:
         readout costs one traversal of the network instead of
         ``num_classes`` separate ones.
         """
-        inputs = np.asarray(inputs, dtype=np.float32)
-        if inputs.shape[0] == 0:
-            return np.zeros((0, self.num_classes), dtype=np.float32)
-        candidates = self.overlay.candidates(inputs)
-        num_labels, batch = candidates.shape[0], candidates.shape[1]
-        folded = candidates.reshape((num_labels * batch,) + candidates.shape[2:])
-        totals = self._forward_goodness(folded)
-        return np.ascontiguousarray(totals.reshape(num_labels, batch).T)
+        return self.executor.goodness_matrix(
+            inputs, self.overlay, self.goodness, self.skip_first_layer,
+            fold_labels=True,
+        )
 
     def predict(self, inputs: np.ndarray) -> np.ndarray:
         """Predicted labels for a batch of raw (un-overlaid) inputs."""
@@ -342,14 +346,18 @@ class Int8InferenceEngine:
 
 
 def build_engine(
-    artifact: InferenceArtifact, bundle: Optional[ModelBundle] = None
+    artifact: InferenceArtifact,
+    bundle: Optional[ModelBundle] = None,
+    backend: BackendLike = None,
 ) -> Int8InferenceEngine:
     """Convenience alias for :meth:`Int8InferenceEngine.from_artifact`."""
-    return Int8InferenceEngine.from_artifact(artifact, bundle)
+    return Int8InferenceEngine.from_artifact(artifact, bundle, backend=backend)
 
 
 def frozen_classifier(
-    artifact: InferenceArtifact, bundle: Optional[ModelBundle] = None
+    artifact: InferenceArtifact,
+    bundle: Optional[ModelBundle] = None,
+    backend: BackendLike = None,
 ) -> FFGoodnessClassifier:
     """A :class:`FFGoodnessClassifier` over the artifact's frozen units.
 
@@ -361,7 +369,7 @@ def frozen_classifier(
     if bundle is None:
         bundle = _bundle_from_metadata(artifact)
     counts = OpCounts()
-    units = _restore_frozen_units(artifact, bundle, counts)
+    units = _restore_frozen_units(artifact, bundle, counts, backend=backend)
     overlay = LabelOverlay(
         num_classes=artifact.num_classes, amplitude=artifact.overlay_amplitude
     )
@@ -371,4 +379,5 @@ def frozen_classifier(
         goodness=build_goodness(artifact.goodness_name),
         flatten_input=artifact.flatten_input,
         skip_first_layer=artifact.skip_first_layer,
+        backend=backend,
     )

@@ -129,8 +129,16 @@ class ServeMetrics:
         summary.update(latency_percentiles(latencies))
         return summary
 
-    def format_report(self, title: str = "serving metrics") -> str:
-        """Render the snapshot as the repo's standard ASCII table."""
+    def format_report(
+        self,
+        title: str = "serving metrics",
+        cache_stats: Optional[Dict[str, float]] = None,
+    ) -> str:
+        """Render the snapshot as the repo's standard ASCII table.
+
+        ``cache_stats`` (a :meth:`PredictionCache.stats` snapshot) appends
+        the prediction cache's hit-rate to the report.
+        """
         snap = self.snapshot()
         rows = [
             ["requests", snap["requests"]],
@@ -145,5 +153,8 @@ class ServeMetrics:
             ["latency p99 (ms)", snap["p99"]],
             ["latency max (ms)", snap["max_latency_ms"]],
         ]
+        if cache_stats is not None:
+            rows.append(["cache hit rate", float(cache_stats["hit_rate"])])
+            rows.append(["cache entries", float(cache_stats["entries"])])
         return format_table(["metric", "value"], rows, title=title,
                             float_format="{:.3f}")

@@ -90,6 +90,45 @@ class TestDataLoader:
         with pytest.raises(ValueError):
             DataLoader(ds, batch_size=0)
 
+    def test_drop_last_batch_equals_dataset_size(self):
+        # batch == dataset size: the single batch is full, nothing is dropped.
+        ds = ArrayDataset(np.arange(8).reshape(8, 1).astype(np.float32),
+                          np.zeros(8, dtype=int), num_classes=2)
+        loader = DataLoader(ds, batch_size=8, shuffle=False, drop_last=True)
+        batches = list(loader)
+        assert len(loader) == 1
+        assert len(batches) == 1
+        np.testing.assert_array_equal(batches[0][0].ravel(), np.arange(8))
+
+    def test_drop_last_final_short_batch_dropped(self):
+        # 10 samples / batch 4 -> two full batches, the short 2-sample tail
+        # is dropped, and no dropped sample leaks into the yielded batches.
+        ds = ArrayDataset(np.arange(10).reshape(10, 1).astype(np.float32),
+                          np.arange(10) % 2, num_classes=2)
+        loader = DataLoader(ds, batch_size=4, shuffle=False, drop_last=True)
+        batches = list(loader)
+        assert len(loader) == 2
+        assert [images.shape[0] for images, _ in batches] == [4, 4]
+        seen = np.concatenate([images.ravel() for images, _ in batches])
+        np.testing.assert_array_equal(seen, np.arange(8))
+
+    def test_drop_last_smaller_dataset_than_batch_yields_nothing(self):
+        ds = ArrayDataset(np.zeros((3, 1), dtype=np.float32),
+                          np.zeros(3, dtype=int), num_classes=2)
+        loader = DataLoader(ds, batch_size=8, drop_last=True)
+        assert len(loader) == 0
+        assert list(loader) == []
+
+    def test_drop_last_len_matches_yielded_batches_under_shuffle(self):
+        ds = ArrayDataset(np.zeros((21, 1), dtype=np.float32),
+                          np.zeros(21, dtype=int), num_classes=2)
+        for batch_size in (1, 2, 5, 7, 20, 21, 22):
+            loader = DataLoader(ds, batch_size=batch_size, shuffle=True,
+                                drop_last=True, rng=0)
+            batches = list(loader)
+            assert len(batches) == len(loader) == 21 // batch_size
+            assert all(images.shape[0] == batch_size for images, _ in batches)
+
 
 class TestSyntheticGenerators:
     def test_mnist_shapes_and_balance(self):
