@@ -13,6 +13,8 @@ import sys
 from pathlib import Path
 
 from repro.analysis import ExperimentResult
+from repro.utils.serialization import save_json
+from repro.utils.sysinfo import machine_meta
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
@@ -43,8 +45,15 @@ def emit(text: str) -> None:
 
 
 def save_experiment(result: ExperimentResult) -> Path:
-    """Persist a benchmark's experiment record under benchmarks/results/."""
-    return result.save(RESULTS_DIR)
+    """Persist a benchmark's experiment record under benchmarks/results/.
+
+    Every record carries a ``meta`` block (CPU count, NumPy/BLAS build,
+    active kernel backend) so wall-clock numbers measured on different
+    machines are distinguishable.
+    """
+    payload = result.as_dict()
+    payload["meta"] = machine_meta()
+    return save_json(payload, RESULTS_DIR / f"{result.experiment_id}.json")
 
 
 def run_once(benchmark, func):

@@ -38,8 +38,10 @@ from repro.serve import (
     save_artifact,
 )
 from repro.runtime import available_backends, use_backend
+from repro.runtime.plan import validate_pins
 from repro.training import ALL_ALGORITHMS, make_trainer
 from repro.utils.serialization import save_json
+from repro.utils.sysinfo import machine_meta
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -61,7 +63,14 @@ def build_parser() -> argparse.ArgumentParser:
     common.add_argument("--backend", default=None,
                         choices=available_backends(),
                         help="runtime kernel backend (default: REPRO_BACKEND "
-                             "env var, else 'fast'; both are bit-identical)")
+                             "env var, else 'fast'; all are bit-identical)")
+    common.add_argument("--pin", action="append", default=None,
+                        metavar="LAYER=BACKEND",
+                        help="pin one layer of the compiled plan to a "
+                             "backend; LAYER is '<kind>', 'unit<N>' or "
+                             "'unit<N>.<kind>' (e.g. --pin gemm=parallel "
+                             "--pin unit0=fast; repeatable; a pin outranks "
+                             "--backend for that layer)")
 
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -137,6 +146,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="number of single-sample requests to serve")
     bench.add_argument("--max-batch-size", type=int, default=32)
     bench.add_argument("--max-wait-ms", type=float, default=5.0)
+    bench.add_argument("--autoscale-wait", action="store_true",
+                       help="adapt the coalescing window to queue-depth "
+                            "load, between --min-wait-ms and --max-wait-ms")
+    bench.add_argument("--min-wait-ms", type=float, default=0.0,
+                       help="lower bound of the adaptive coalescing window")
     bench.add_argument("--workers", type=int, default=1)
     bench.add_argument("--cache-size", type=int, default=0,
                        help="LRU prediction-cache capacity (0 disables; kept "
@@ -144,6 +158,25 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--output", default=None,
                        help="optional path for a JSON benchmark summary")
     return parser
+
+
+def _parse_pins(args) -> Optional[dict]:
+    """``--pin LAYER=BACKEND`` occurrences as a validated pin mapping."""
+    raw = getattr(args, "pin", None)
+    if not raw:
+        return None
+    pins = {}
+    for item in raw:
+        layer, sep, backend = item.partition("=")
+        if not sep or not layer or not backend:
+            raise SystemExit(
+                f"error: --pin expects LAYER=BACKEND, got {item!r}"
+            )
+        pins[layer] = backend
+    try:
+        return validate_pins(pins)
+    except ValueError as error:
+        raise SystemExit(f"error: {error}")
 
 
 def _load_dataset(args):
@@ -185,6 +218,13 @@ def _cmd_train(args) -> int:
               "seed": args.seed}
     if args.lr is not None:
         kwargs["lr"] = args.lr
+    pins = _parse_pins(args)
+    if pins:
+        if args.algorithm.upper().startswith("FF"):
+            kwargs["pins"] = pins
+        else:
+            print(f"--pin ignored: {args.algorithm} does not execute "
+                  "compiled plans")
     trainer = make_trainer(args.algorithm, **kwargs)
     history = trainer.fit(bundle, train_set, test_set)
 
@@ -253,7 +293,7 @@ def _train_and_freeze(args):
     config = FFInt8Config(
         epochs=args.epochs, batch_size=64, overlay_amplitude=2.0,
         evaluate_every=max(args.epochs, 1), eval_max_samples=args.test_samples,
-        seed=args.seed,
+        seed=args.seed, pins=_parse_pins(args),
     )
     print(f"training {bundle.name} with FF-INT8 for {args.epochs} epochs "
           "before freezing...")
@@ -309,7 +349,8 @@ def _cmd_serve_bench(args) -> int:
         _, test_set = _load_dataset(args)
     else:
         artifact, test_set = _train_and_freeze(args)
-    engine = build_engine(artifact, backend=args.backend)
+    pins = _parse_pins(args)
+    engine = build_engine(artifact, backend=args.backend, pins=pins)
 
     images = test_set.images
     indices = np.arange(args.requests) % len(images)
@@ -333,6 +374,8 @@ def _cmd_serve_bench(args) -> int:
         max_batch_size=args.max_batch_size, max_wait_ms=args.max_wait_ms,
         num_workers=args.workers, cache_capacity=args.cache_size,
         dedup_inflight=args.cache_size > 0, backend=args.backend,
+        pins=pins, autoscale_wait=args.autoscale_wait,
+        min_wait_ms=args.min_wait_ms,
     )
     batcher = MicroBatcher(engine, config)
     with batcher:
@@ -366,12 +409,17 @@ def _cmd_serve_bench(args) -> int:
           f"(mean batch size {snap['mean_batch_size']:.1f}, "
           f"{int(snap['batches'])} batches, "
           f"cache hit rate {cache_stats['hit_rate']:.1%})")
+    if args.autoscale_wait:
+        print(f"adaptive max_wait settled at {batcher.current_wait_ms:.2f} ms "
+              f"(bounds [{args.min_wait_ms:.2f}, {args.max_wait_ms:.2f}] ms, "
+              f"queue-depth EWMA {snap['queue_depth_ewma']:.1f})")
 
     if args.output:
         save_json({
             "model": artifact.metadata["model_name"],
             "requests": args.requests,
             "serve_config": config.as_dict(),
+            "meta": machine_meta(backend=args.backend),
             "single": {"throughput_rps": single_throughput, **single_stats},
             "batched": {"throughput_rps": batched_throughput, **snap},
             "cache": cache_stats,

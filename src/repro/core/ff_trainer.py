@@ -72,10 +72,15 @@ class FFConfig:
     train_eval_max_samples: Optional[int] = 128
     seed: int = 0
     backend: Optional[str] = None
+    pins: Optional[dict] = None
 
     def __post_init__(self) -> None:
         if self.backend is not None:
             dispatch.get_backend(self.backend)  # fail fast on typos
+        if self.pins:
+            from repro.runtime.plan import validate_pins
+
+            validate_pins(self.pins)
         if self.train_schedule not in ("simultaneous", "greedy"):
             raise ValueError(
                 "train_schedule must be 'simultaneous' or 'greedy', "
@@ -135,11 +140,13 @@ class ForwardForwardTrainer:
         )
         classifier = FFGoodnessClassifier(
             units, overlay, goodness=goodness, flatten_input=bundle.flatten_input,
-            backend=config.backend,
+            backend=config.backend, pins=config.pins,
         )
         # One compiled plan drives every training forward pass; the backward
         # sweep still walks the unit modules, whose caches the plan filled.
-        executor = PlanExecutor.for_units(units, backend=config.backend)
+        executor = PlanExecutor.for_units(
+            units, backend=config.backend, pins=config.pins
+        )
         optimizers = self._build_optimizers(units)
 
         history = TrainingHistory(

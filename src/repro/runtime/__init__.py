@@ -3,14 +3,18 @@
 One execution layer for every workload:
 
 * :func:`compile_plan` lowers an FF unit stack into a flat
-  :class:`ExecutionPlan` of kernel steps; :class:`PlanExecutor` runs it —
-  training forward passes, goodness classification, readout features and
-  batched serving all execute the same plan code.
+  :class:`ExecutionPlan` of kernel steps, optionally fusing
+  norm→gemm→activation runs and pinning individual layers to a backend;
+  :class:`PlanExecutor` runs it — training forward passes, goodness
+  classification, readout features and batched serving all execute the
+  same plan code.
 * :mod:`repro.runtime.backends` hosts the kernel backends: ``reference``
-  (the seed NumPy arithmetic) and ``fast`` (exact-float32 BLAS integer
-  GEMMs with preallocated scratch).  Select with the ``REPRO_BACKEND``
-  environment variable, :func:`set_default_backend`, a config's ``backend``
-  field, or the CLI ``--backend`` flag; both backends are bit-identical.
+  (the seed NumPy arithmetic), ``fast`` (exact-float32 BLAS integer GEMMs
+  with preallocated scratch) and ``parallel`` (row-block thread tiling of
+  the fast kernels plus float32/numba depthwise products).  Select with
+  the ``REPRO_BACKEND`` environment variable, :func:`set_default_backend`,
+  a config's ``backend`` field, the CLI ``--backend`` flag, or per layer
+  with plan pins; every backend is bit-identical.
 * :mod:`repro.runtime.instrument` exposes the dispatch layer's
   instrumentation hooks — :class:`OpCounts`/:class:`OpCountingHook` for
   Table IV op accounting and arbitrary observers for profiling — which see
@@ -27,6 +31,7 @@ from repro.runtime import instrument
 from repro.runtime.backends import (
     Backend,
     FastBackend,
+    ParallelBackend,
     ReferenceBackend,
     available_backends,
     get_backend,
@@ -37,6 +42,7 @@ from repro.runtime.dispatch import (
     DEFAULT_BACKEND,
     active_backend,
     default_backend_name,
+    pin_backend,
     set_default_backend,
     use_backend,
 )
@@ -54,6 +60,7 @@ _LAZY = {
     "compile_plan": "repro.runtime.plan",
     "step_kind": "repro.runtime.plan",
     "STEP_KINDS": "repro.runtime.plan",
+    "activation_applier": "repro.runtime.plan",
     "PlanExecutor": "repro.runtime.executor",
     "forward_through_units": "repro.runtime.executor",
 }
@@ -74,6 +81,7 @@ __all__ = [
     "Backend",
     "ReferenceBackend",
     "FastBackend",
+    "ParallelBackend",
     "register_backend",
     "available_backends",
     "get_backend",
@@ -83,6 +91,7 @@ __all__ = [
     "default_backend_name",
     "set_default_backend",
     "use_backend",
+    "pin_backend",
     "instrument",
     "Instrumentation",
     "OpCounts",
@@ -94,6 +103,7 @@ __all__ = [
     "compile_plan",
     "step_kind",
     "STEP_KINDS",
+    "activation_applier",
     "PlanExecutor",
     "forward_through_units",
 ]

@@ -1,9 +1,11 @@
 """Backend registry.
 
 Backends are registered by name and instantiated once (they may hold
-per-thread scratch state).  ``reference`` is the seed NumPy arithmetic,
-``fast`` the BLAS-tiled exact-float32 variant; both are bit-identical on
-every input, so selection is purely a performance knob.
+per-thread scratch state and worker pools).  ``reference`` is the seed NumPy
+arithmetic, ``fast`` the BLAS-tiled exact-float32 variant, ``parallel`` the
+row-block-threaded tiling of the fast kernels (plus float32/numba depthwise
+products); all three are bit-identical on every input, so selection is
+purely a performance knob.
 """
 
 from __future__ import annotations
@@ -12,6 +14,7 @@ from typing import Callable, Dict, List, Union
 
 from repro.runtime.backends.base import Backend
 from repro.runtime.backends.fast import FastBackend, exact_f32_possible
+from repro.runtime.backends.parallel import ParallelBackend
 from repro.runtime.backends.reference import ReferenceBackend, integer_matmul
 
 _FACTORIES: Dict[str, Callable[[], Backend]] = {}
@@ -47,11 +50,13 @@ def get_backend(name: Union[str, Backend]) -> Backend:
 
 register_backend("reference", ReferenceBackend)
 register_backend("fast", FastBackend)
+register_backend("parallel", ParallelBackend)
 
 __all__ = [
     "Backend",
     "ReferenceBackend",
     "FastBackend",
+    "ParallelBackend",
     "register_backend",
     "available_backends",
     "get_backend",

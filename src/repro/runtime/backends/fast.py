@@ -58,6 +58,7 @@ class FastBackend(ReferenceBackend):
 
     name = "fast"
     wants_f32_rhs = True
+    supports_fusion = True
 
     def __init__(self) -> None:
         self._local = threading.local()
@@ -98,10 +99,11 @@ class FastBackend(ReferenceBackend):
         return integer_matmul(lhs_q, rhs_q)
 
     # int8_depthwise / int8_depthwise_grad: inherited from ReferenceBackend.
-    # The forward reduction is tiny (kernel_area elements) and the gradient
-    # reduction spans all output positions, exceeding the float32
-    # exact-integer window for realistic feature maps — the integer einsum
-    # is the right kernel for both.
+    # Neither kernel maps onto a single BLAS call (the forward reduction is
+    # kernel_area-sized, the gradient spans all positions and exceeds the
+    # float32 exact-integer window for realistic feature maps); the
+    # ``parallel`` backend owns the accelerated versions — tiled float32
+    # einsums with an exact-window row cap, plus the optional numba path.
 
     def rowwise_quantized_gemm(
         self,

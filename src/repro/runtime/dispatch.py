@@ -4,8 +4,9 @@ The nn layers, the training :class:`~repro.quant.int8_ops.Int8Engine`, and
 the serving :class:`~repro.serve.engine.FrozenInt8Kernel` all execute their
 GEMMs through the functions in this module.  Dispatch does three things:
 
-* resolve the **active backend** (explicit argument > thread-local override
-  from :func:`use_backend` > ``REPRO_BACKEND`` env var > process default),
+* resolve the **active backend** (per-step pin from :func:`pin_backend` >
+  explicit argument > thread-local override from :func:`use_backend` >
+  ``REPRO_BACKEND`` env var > process default),
 * run the kernel on that backend,
 * report the operation to per-engine :class:`OpCounts` records and to any
   registered :mod:`instrumentation <repro.runtime.instrument>` hooks — so op
@@ -55,7 +56,16 @@ def default_backend_name() -> str:
 
 
 def active_backend(backend: BackendLike = None) -> Backend:
-    """Resolve the backend for one kernel call."""
+    """Resolve the backend for one kernel call.
+
+    A per-layer pin (see :func:`pin_backend`) outranks even an explicit
+    ``backend`` argument: the pin names exactly one plan step, which is more
+    specific than an engine- or config-level default that some caller
+    threaded through as an argument.
+    """
+    pins = getattr(_overrides, "pins", None)
+    if pins:
+        return pins[-1]
     if backend is not None:
         return get_backend(backend)
     stack = getattr(_overrides, "stack", None)
@@ -84,6 +94,31 @@ def use_backend(backend: BackendLike) -> Iterator[Backend]:
         yield resolved
     finally:
         stack.pop()
+
+
+@contextmanager
+def pin_backend(backend: BackendLike) -> Iterator[Backend]:
+    """Route kernels to ``backend`` as a *per-layer pin* for the block.
+
+    The executor wraps each pinned :class:`~repro.runtime.plan.KernelStep`
+    in this scope; unlike :func:`use_backend` it outranks explicit backend
+    arguments, so a frozen serving kernel constructed with an engine-level
+    backend still honours the pin of the layer it is executing.  ``None``
+    leaves the ambient selection untouched.
+    """
+    if backend is None:
+        yield active_backend()
+        return
+    resolved = get_backend(backend)
+    pins = getattr(_overrides, "pins", None)
+    if pins is None:
+        pins = []
+        _overrides.pins = pins
+    pins.append(resolved)
+    try:
+        yield resolved
+    finally:
+        pins.pop()
 
 
 # --------------------------------------------------------------------------- #
@@ -173,6 +208,29 @@ def rowwise_quantized_gemm(
     return acc, scales
 
 
+def fused_matmul_bias_act(
+    x: np.ndarray,
+    weight_t: np.ndarray,
+    bias: Optional[np.ndarray] = None,
+    act=None,
+    backend: BackendLike = None,
+) -> np.ndarray:
+    """Fused ``act(x @ weight_t + bias)`` (instrumented as the GEMM's MACs).
+
+    Bias addition and activation are elementwise passes that Table IV's MAC
+    accounting never counted on the unfused path either, so the fused step
+    attributes exactly the constituent GEMM's FP32 MACs — fusion changes the
+    allocation profile, never the op accounting.
+    """
+    out = active_backend(backend).fused_matmul_bias_act(x, weight_t, bias, act)
+    if instrument.hooks_active():
+        instrument.emit_fp32_macs(
+            int(np.prod(x.shape[:-1], dtype=np.int64)) * int(x.shape[-1])
+            * int(weight_t.shape[-1])
+        )
+    return out
+
+
 def rowwise_quantize(
     values: np.ndarray,
     qmax: int = 127,
@@ -194,7 +252,9 @@ __all__ = [
     "default_backend_name",
     "active_backend",
     "use_backend",
+    "pin_backend",
     "matmul",
+    "fused_matmul_bias_act",
     "int8_gemm",
     "int8_depthwise",
     "int8_depthwise_grad",

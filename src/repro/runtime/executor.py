@@ -10,22 +10,82 @@ activities, accumulated goodness, label-probe goodness matrices in both the
 per-label-loop and folded-batch forms) in one place.
 
 Numerical contract: executing a plan is arithmetic-identical to walking the
-original module tree, because each step *is* the original module — only the
-GEMMs inside route through the pluggable backend, and both shipped backends
-are exact.
+original module tree.  Unfused steps *are* the original modules; fused
+norm→gemm→activation steps run the same arithmetic through the backend's
+``fused_*`` kernels (skipping the intermediate materializations), and the
+executor falls back to the step-by-step module walk whenever fusion could be
+observable — on backends without fusion support (``reference``), when a
+constituent module must fill its activation cache for a backward pass, or
+while instrumentation hooks are registered (so per-module observers miss
+nothing).  Only the GEMMs inside route through the pluggable backend, and
+every shipped backend is exact.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
 
 from repro.nn.module import Module
-from repro.runtime import dispatch
+from repro.runtime import dispatch, instrument
 from repro.runtime.dispatch import BackendLike
-from repro.runtime.plan import ExecutionPlan, compile_plan
+from repro.runtime.plan import (
+    ExecutionPlan,
+    KernelStep,
+    activation_applier,
+    compile_plan,
+)
+
+
+def _fused_fallback_required(step: KernelStep) -> bool:
+    """True when a fused step must run as the original module walk.
+
+    A constituent that would cache activations (training mode with caching
+    enabled) needs its module ``forward`` to run so the backward pass finds
+    its tensors; fused execution would silently starve it.
+    """
+    for sub in step.fused:
+        module = sub.module
+        if module.training and module.cache_activations:
+            return True
+    return False
+
+
+def _run_fused(step: KernelStep, hidden: np.ndarray) -> np.ndarray:
+    """Execute a fused norm→gemm→activation step on the active backend."""
+    backend = dispatch.active_backend()
+    norm = gemm = act = None
+    for sub in step.fused:
+        if sub.kind == "norm":
+            norm = sub.module
+        elif sub.kind == "gemm":
+            gemm = sub.module
+        else:
+            act = sub.module
+    if norm is not None:
+        hidden = backend.fused_ffnorm(hidden, norm.eps)
+    if hidden.ndim != 2:
+        hidden = hidden.reshape(hidden.shape[0], -1)
+    applier = activation_applier(act) if act is not None else None
+    if gemm.quant_engine is not None:
+        # The engine performs its own dispatched, op-counted GEMM; bias and
+        # activation then mutate its freshly-allocated output in place.
+        out = gemm.quant_engine.linear_forward(hidden, gemm.weight.data)
+        if gemm.bias is not None:
+            out += gemm.bias.data
+        out = out.astype(np.float32, copy=False)
+        if applier is not None:
+            out = applier(out)
+        return out
+    return dispatch.fused_matmul_bias_act(
+        hidden,
+        gemm.weight.data.T,
+        None if gemm.bias is None else gemm.bias.data,
+        applier,
+        backend=backend,
+    )
 
 
 class PlanExecutor:
@@ -56,10 +116,17 @@ class PlanExecutor:
         flatten_input: bool = False,
         backend: BackendLike = None,
         static_eval: bool = False,
+        fuse: bool = True,
+        pins: Optional[Dict[str, str]] = None,
     ) -> "PlanExecutor":
-        """Compile ``units`` and wrap the plan in an executor."""
+        """Compile ``units`` and wrap the plan in an executor.
+
+        ``fuse`` and ``pins`` forward to :func:`compile_plan` (fused
+        norm→gemm→activation steps, per-layer backend pinning).
+        """
         return cls(
-            compile_plan(units, flatten_input=flatten_input),
+            compile_plan(units, flatten_input=flatten_input, fuse=fuse,
+                         pins=pins),
             backend,
             static_eval=static_eval,
         )
@@ -68,6 +135,27 @@ class PlanExecutor:
         if self.plan.flatten_input:
             return inputs.reshape(inputs.shape[0], -1)
         return inputs
+
+    # ------------------------------------------------------------------ #
+    def _run_step(self, step: KernelStep, hidden: np.ndarray) -> np.ndarray:
+        """Execute one plan step (honouring pins and fused fast paths)."""
+        if step.backend is not None:
+            with dispatch.pin_backend(step.backend):
+                return self._execute(step, hidden)
+        return self._execute(step, hidden)
+
+    def _execute(self, step: KernelStep, hidden: np.ndarray) -> np.ndarray:
+        if step.kind != "fused":
+            return step.module(hidden)
+        if (
+            not getattr(dispatch.active_backend(), "supports_fusion", False)
+            or instrument.hooks_active()
+            or _fused_fallback_required(step)
+        ):
+            for sub in step.fused:
+                hidden = sub.module(hidden)
+            return hidden
+        return _run_fused(step, hidden)
 
     @contextmanager
     def inference_mode(self) -> Iterator[None]:
@@ -99,7 +187,7 @@ class PlanExecutor:
             for step in self.plan.steps:
                 if limit is not None and step.unit_index >= limit:
                     break
-                hidden = step.module(hidden)
+                hidden = self._run_step(step, hidden)
                 if step.is_unit_output:
                     outputs.append(hidden)
         return outputs
@@ -120,7 +208,7 @@ class PlanExecutor:
         with dispatch.use_backend(self.backend):
             hidden = self._prepare(inputs)
             for step in self.plan.steps:
-                hidden = step.module(hidden)
+                hidden = self._run_step(step, hidden)
                 if step.is_unit_output and not (
                     skip_first and step.unit_index == 0
                 ):

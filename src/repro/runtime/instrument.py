@@ -6,6 +6,13 @@ Observers register an :class:`Instrumentation` hook and see the traffic of
 *any* backend — the op counting behind Table IV and the hardware profiler
 both plug in this way, so neither needs code inside the kernels themselves.
 
+Fused plan steps keep this contract intact: a fused GEMM emits exactly the
+MACs its constituent ops would (bias/activation passes were never counted as
+MACs on the unfused path either), and while any hook is registered the
+executor runs fused steps as the original step-per-module walk — so
+per-module observers (``on_module``) miss nothing and Table IV accounting is
+unchanged by fusion.
+
 :class:`OpCounts` (formerly ``repro.quant.int8_ops.OpCounts``, re-exported
 there for compatibility) is the canonical counter record;
 :class:`OpCountingHook` adapts it to the hook protocol.

@@ -8,6 +8,23 @@ forward *is* the sequence); structured modules such as residual adds and
 squeeze-excite gates stay opaque ``module`` steps so their exact gradient
 topology is preserved.
 
+Two optimization passes run over the lowered steps:
+
+* **Per-layer backend pinning** (``pins=``): individual steps carry a
+  backend override (``"gemm"``, ``"unit0"``, ``"unit1.gemm"`` specs) that
+  :mod:`repro.runtime.dispatch` resolves as the most specific selection —
+  wide layers can run the tiled ``parallel`` kernels while narrow ones stay
+  on single-threaded BLAS.
+* **Fusion** (``fuse=True``, the default): adjacent ``norm→gemm``,
+  ``gemm→activation`` and ``norm→gemm→activation`` runs inside one unit
+  collapse into a single ``fused`` step.  The executor runs fused steps
+  through the backend's ``fused_*`` kernels without materializing the
+  intermediate module outputs; backends that do not support fusion (the
+  ``reference`` oracle), training-mode steps that must fill activation
+  caches, and instrumented runs all fall back to the original step-by-step
+  module walk — so fusion never changes a number, only the amount of
+  allocation between kernels.
+
 The compiled :class:`ExecutionPlan` is what every forward path in the repo
 executes (training, label-probe classification, softmax readout features,
 and batched serving) via :class:`~repro.runtime.executor.PlanExecutor`; the
@@ -17,19 +34,23 @@ selected backend.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.nn.activations import LeakyReLU, ReLU, ReLU6, Sigmoid, SiLU, Tanh
 from repro.nn.containers import Sequential
 from repro.nn.conv import Conv2d, DepthwiseConv2d
 from repro.nn.dropout import Dropout
+from repro.nn.functional import sigmoid
 from repro.nn.linear import Linear
 from repro.nn.module import Identity, Module
 from repro.nn.norm import FFLayerNorm, _BatchNormBase
 from repro.nn.pooling import AvgPool2d, Flatten, GlobalAvgPool2d, MaxPool2d
 
-#: step kinds a plan can contain (``reshape`` is the synthetic input flatten)
+#: step kinds a plan can contain (``reshape`` is the synthetic input flatten,
+#: ``fused`` a collapsed norm/gemm/activation run)
 STEP_KINDS = (
     "gemm",
     "conv",
@@ -41,6 +62,7 @@ STEP_KINDS = (
     "identity",
     "reshape",
     "module",
+    "fused",
 )
 
 _KIND_BY_TYPE = (
@@ -65,25 +87,107 @@ def step_kind(module: Module) -> str:
     return "module"
 
 
+# --------------------------------------------------------------------------- #
+# fused activation appliers
+# --------------------------------------------------------------------------- #
+def _apply_relu(out: np.ndarray) -> np.ndarray:
+    # Masked store rather than np.maximum: identical to the module's
+    # ``np.where(x > 0, x, 0.0)`` even for NaN (mapped to 0) and -0.0.
+    out[~(out > 0.0)] = 0.0
+    return out
+
+
+def _apply_relu6(out: np.ndarray) -> np.ndarray:
+    np.clip(out, 0.0, 6.0, out=out)
+    return out
+
+
+def _apply_sigmoid(out: np.ndarray) -> np.ndarray:
+    return sigmoid(out)
+
+
+def _apply_silu(out: np.ndarray) -> np.ndarray:
+    sig = sigmoid(out)
+    out *= sig
+    return out
+
+
+def _apply_tanh(out: np.ndarray) -> np.ndarray:
+    np.tanh(out, out=out)
+    return out
+
+
+def activation_applier(module: Module) -> Optional[Callable[[np.ndarray], np.ndarray]]:
+    """In-place applier matching ``module``'s forward arithmetic, or ``None``.
+
+    Appliers operate on a freshly-allocated float32 GEMM output, so they are
+    free to mutate it; each computes exactly the values the activation module
+    would produce on finite inputs (the parity the fusion tests pin down).
+    Unknown activation types return ``None`` and block fusion.
+    """
+    kind = type(module)
+    if kind is ReLU:
+        return _apply_relu
+    if kind is ReLU6:
+        return _apply_relu6
+    if kind is LeakyReLU:
+        slope = module.negative_slope
+
+        def _apply_leaky(out: np.ndarray) -> np.ndarray:
+            return np.where(out > 0, out, slope * out).astype(np.float32)
+
+        return _apply_leaky
+    if kind is Sigmoid:
+        return _apply_sigmoid
+    if kind is SiLU:
+        return _apply_silu
+    if kind is Tanh:
+        return _apply_tanh
+    return None
+
+
 @dataclass(frozen=True)
 class KernelStep:
-    """One executable step of a compiled plan."""
+    """One executable step of a compiled plan.
+
+    ``backend`` is an optional per-step pin resolved by
+    :func:`repro.runtime.dispatch.pin_backend` (the most specific backend
+    selection there is).  ``fused`` holds the constituent steps of a
+    ``kind == "fused"`` step, in execution order.
+    """
 
     kind: str
     module: Optional[Module]
     unit_index: int
     is_unit_output: bool = False
+    backend: Optional[str] = None
+    fused: Tuple["KernelStep", ...] = ()
+
+    @property
+    def constituents(self) -> Tuple["KernelStep", ...]:
+        """The original unfused steps this step executes (itself if unfused)."""
+        return self.fused if self.kind == "fused" else (self,)
 
     @property
     def quantized(self) -> bool:
         """True when the step's GEMM runs through an attached INT8 engine."""
-        return getattr(self.module, "quant_engine", None) is not None
+        return any(
+            getattr(step.module, "quant_engine", None) is not None
+            for step in self.constituents
+        )
 
     def describe(self) -> str:
-        name = type(self.module).__name__ if self.module is not None else "-"
+        if self.kind == "fused":
+            name = "+".join(
+                type(step.module).__name__ for step in self.fused
+            )
+        else:
+            name = type(self.module).__name__ if self.module is not None else "-"
         flags = []
         if self.quantized:
             flags.append("int8")
+        if self.backend is not None:
+            flags.append(f"pin={self.backend}")
         if self.is_unit_output:
             flags.append("unit-out")
         suffix = f" [{', '.join(flags)}]" if flags else ""
@@ -136,31 +240,197 @@ def _lower_module(
     steps.append(KernelStep(step_kind(module), module, unit_index))
 
 
+# --------------------------------------------------------------------------- #
+# per-layer backend pinning
+# --------------------------------------------------------------------------- #
+#: kinds a pin spec may name: everything compile_plan lowers to, except
+#: ``fused`` — pins are applied *before* the fusion pass (they decide what
+#: may fuse), so a ``fused`` spec could never match; pin the constituent
+#: kinds (``norm``/``gemm``/``activation``) instead.
+_PINNABLE_KINDS = tuple(kind for kind in STEP_KINDS if kind != "fused")
+
+
+def _valid_pin_key(key: str) -> bool:
+    """True for ``"<kind>"``, ``"unit<N>"`` and ``"unit<N>.<kind>"`` specs."""
+    if key in _PINNABLE_KINDS:
+        return True
+    base, dot, kind = key.partition(".")
+    if not (base.startswith("unit") and base[len("unit"):].isdigit()):
+        return False
+    return not dot or kind in _PINNABLE_KINDS
+
+
+def _pin_candidates(step: KernelStep) -> Tuple[str, ...]:
+    """Pin spec keys matching ``step``, most specific first."""
+    return (
+        f"unit{step.unit_index}.{step.kind}",
+        f"unit{step.unit_index}",
+        step.kind,
+    )
+
+
+def validate_pins(pins: Dict[str, str]) -> Dict[str, str]:
+    """Eagerly validate pin spec keys and backend names.
+
+    Raises on malformed keys and unregistered backends; whether a pin
+    actually matches a step is only known at :func:`compile_plan` time.
+    Returns the mapping unchanged so configs can validate-and-store.
+    """
+    from repro.runtime.backends import get_backend
+
+    for key, backend_name in pins.items():
+        if not _valid_pin_key(key):
+            raise ValueError(
+                f"invalid pin spec {key!r}; expected '<kind>', 'unit<N>' or "
+                f"'unit<N>.<kind>' with kind in {_PINNABLE_KINDS} "
+                f"('fused' steps take the pin of their constituents)"
+            )
+        get_backend(backend_name)  # fail fast on unknown backends
+    return pins
+
+
+def _apply_pins(
+    steps: List[KernelStep], pins: Dict[str, str]
+) -> List[KernelStep]:
+    """Attach per-step backend overrides from a pin-spec mapping.
+
+    Keys are ``"<kind>"`` (every step of that kind), ``"unit<N>"`` (every
+    step of unit N) or ``"unit<N>.<kind>"``; the most specific match wins.
+    Backend names are validated eagerly and every pin must match at least
+    one step, so config typos fail at compile time instead of silently
+    running on the wrong kernels.
+    """
+    validate_pins(pins)
+    matched: set = set()
+    pinned: List[KernelStep] = []
+    for step in steps:
+        backend_name = None
+        for candidate in _pin_candidates(step):
+            if candidate in pins:
+                if backend_name is None:
+                    backend_name = pins[candidate]
+                # A generic spec shadowed by a more specific one on every
+                # step it covers still "matched" — it is not a typo.
+                matched.add(candidate)
+        pinned.append(
+            replace(step, backend=backend_name) if backend_name else step
+        )
+    unmatched = sorted(set(pins) - matched)
+    if unmatched:
+        raise ValueError(
+            f"pin specs {unmatched} matched no step of the compiled plan; "
+            f"steps are {[step.describe() for step in steps]}"
+        )
+    return pinned
+
+
+# --------------------------------------------------------------------------- #
+# fusion pass
+# --------------------------------------------------------------------------- #
+def _fusable_group(
+    steps: List[KernelStep], start: int
+) -> Optional[Tuple[KernelStep, ...]]:
+    """The longest norm→gemm→activation run starting at ``start``, if any.
+
+    Constituents must belong to the same unit and carry the same backend
+    pin; a constituent that is a unit output can only be the group's last
+    element (the goodness function taps unit outputs, so intermediate
+    activities inside a fused step must not be observable ones).  Only
+    :class:`FFLayerNorm` norms and :class:`Linear` gemms participate —
+    BatchNorm mutates running statistics in training mode and convolutions
+    carry their own im2col staging, so both stay step-per-module.
+    """
+    index = start
+    norm: Optional[KernelStep] = None
+    first = steps[index]
+    if (
+        first.kind == "norm"
+        and type(first.module) is FFLayerNorm
+        and not first.is_unit_output
+        and index + 1 < len(steps)
+    ):
+        norm = first
+        index += 1
+    gemm = steps[index] if index < len(steps) else None
+    if gemm is None or gemm.kind != "gemm" or type(gemm.module) is not Linear:
+        return None
+    if norm is not None and (
+        gemm.unit_index != norm.unit_index or gemm.backend != norm.backend
+    ):
+        return None
+    act: Optional[KernelStep] = None
+    if not gemm.is_unit_output and index + 1 < len(steps):
+        candidate = steps[index + 1]
+        if (
+            candidate.kind == "activation"
+            and candidate.unit_index == gemm.unit_index
+            and candidate.backend == gemm.backend
+            and activation_applier(candidate.module) is not None
+        ):
+            act = candidate
+    group = tuple(step for step in (norm, gemm, act) if step is not None)
+    return group if len(group) >= 2 else None
+
+
+def _fuse_steps(steps: List[KernelStep]) -> List[KernelStep]:
+    """Collapse fusable norm/gemm/activation runs into ``fused`` steps."""
+    fused_steps: List[KernelStep] = []
+    index = 0
+    while index < len(steps):
+        group = _fusable_group(steps, index)
+        if group is None:
+            fused_steps.append(steps[index])
+            index += 1
+            continue
+        last = group[-1]
+        fused_steps.append(
+            KernelStep(
+                "fused",
+                None,
+                last.unit_index,
+                last.is_unit_output,
+                backend=last.backend,
+                fused=group,
+            )
+        )
+        index += len(group)
+    return fused_steps
+
+
 def compile_plan(
-    units: Sequence[Module], flatten_input: bool = False
+    units: Sequence[Module],
+    flatten_input: bool = False,
+    fuse: bool = True,
+    pins: Optional[Dict[str, str]] = None,
 ) -> ExecutionPlan:
     """Compile an ordered FF unit stack into an :class:`ExecutionPlan`.
 
     Each unit's final step is tagged ``is_unit_output`` — those are the
     activities the goodness function taps and the per-unit boundaries the
-    trainer updates at.
+    trainer updates at.  ``pins`` attaches per-step backend overrides (see
+    :func:`_apply_pins` for the spec syntax) and ``fuse`` (default on)
+    collapses norm→gemm→activation runs into fused steps; both passes
+    preserve the executed arithmetic exactly.
     """
     if not units:
         raise ValueError("cannot compile a plan over zero units")
     steps: List[KernelStep] = []
-    unit_step_counts: List[int] = []
     for unit_index, unit in enumerate(units):
         before = len(steps)
         _lower_module(unit, unit_index, steps)
-        produced = len(steps) - before
-        if produced == 0:
+        if len(steps) == before:
             # An empty Sequential still forwards its input unchanged; keep a
             # step so the unit has an output boundary.
             steps.append(KernelStep("identity", unit, unit_index))
-            produced = 1
-        unit_step_counts.append(produced)
         last = steps[-1]
         steps[-1] = KernelStep(last.kind, last.module, last.unit_index, True)
+    if pins:
+        steps = _apply_pins(steps, dict(pins))
+    if fuse:
+        steps = _fuse_steps(steps)
+    unit_step_counts = [0] * len(units)
+    for step in steps:
+        unit_step_counts[step.unit_index] += 1
     return ExecutionPlan(
         steps=steps,
         unit_modules=list(units),
@@ -172,6 +442,8 @@ def compile_plan(
 __all__ = [
     "STEP_KINDS",
     "step_kind",
+    "activation_applier",
+    "validate_pins",
     "KernelStep",
     "ExecutionPlan",
     "compile_plan",

@@ -72,6 +72,18 @@ class MicroBatcher:
         metrics: Optional[ServeMetrics] = None,
     ) -> None:
         self.config = config if config is not None else ServeConfig()
+        pins = getattr(self.config, "pins", None)
+        if pins:
+            apply_pins = getattr(engine, "apply_pins", None)
+            if not callable(apply_pins):
+                raise TypeError(
+                    "ServeConfig.pins requires an engine exposing "
+                    "apply_pins(pins) (e.g. Int8InferenceEngine); a bare "
+                    "predict callable cannot honour per-layer pins"
+                )
+            # Recompiling here (idempotent) guarantees the config's pins are
+            # in force even when the engine was built without them.
+            apply_pins(pins)
         predict = getattr(engine, "predict", None)
         self._predict: PredictFn = predict if callable(predict) else engine
         if not callable(self._predict):
@@ -91,6 +103,9 @@ class MicroBatcher:
         # In-flight requests by input digest, for request coalescing.
         self._pending: dict = {}
         self._pending_lock = threading.Lock()
+        # Adaptive coalescing window (autoscale_wait); plain float writes
+        # are atomic, so workers update it lock-free.
+        self._current_wait_s = self.config.max_wait_s
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -177,9 +192,19 @@ class MicroBatcher:
             dtype=np.int64,
         )
 
+    @property
+    def current_wait_ms(self) -> float:
+        """The coalescing window workers currently apply (milliseconds)."""
+        return 1000.0 * self._current_wait_s
+
     def format_report(self, title: str = "serving metrics") -> str:
-        """Metrics report including the prediction cache's hit-rate."""
-        return self.metrics.format_report(title, cache_stats=self.cache.stats())
+        """Metrics report including the cache hit-rate and adaptive window."""
+        extra_rows = None
+        if getattr(self.config, "autoscale_wait", False):
+            extra_rows = [["adaptive max_wait (ms)", self.current_wait_ms]]
+        return self.metrics.format_report(
+            title, cache_stats=self.cache.stats(), extra_rows=extra_rows
+        )
 
     # ------------------------------------------------------------------ #
     # worker internals
@@ -198,10 +223,28 @@ class MicroBatcher:
             batch = self._gather_batch(first)
             self._serve_batch(batch)
 
+    def _wait_window_s(self) -> float:
+        """The coalescing window for the next batch (adaptive when enabled).
+
+        Queue-depth EWMA near ``max_batch_size`` means batches fill from the
+        backlog on their own, so waiting only adds latency — the window
+        shrinks toward ``min_wait_ms``.  An idle queue earns the full
+        ``max_wait_ms`` to coalesce stragglers.
+        """
+        config = self.config
+        if not getattr(config, "autoscale_wait", False):
+            return config.max_wait_s
+        fill = min(1.0, self.metrics.queue_depth_ewma() / config.max_batch_size)
+        wait = config.max_wait_s - (config.max_wait_s - config.min_wait_s) * fill
+        # Clamp: the interpolation can land an ulp outside the bounds.
+        wait = min(max(wait, config.min_wait_s), config.max_wait_s)
+        self._current_wait_s = wait
+        return wait
+
     def _gather_batch(self, first: _Request) -> List[_Request]:
         """Collect up to ``max_batch_size`` requests within the wait window."""
         batch = [first]
-        deadline = time.perf_counter() + self.config.max_wait_s
+        deadline = time.perf_counter() + self._wait_window_s()
         while len(batch) < self.config.max_batch_size:
             remaining = deadline - time.perf_counter()
             try:

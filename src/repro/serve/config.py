@@ -9,9 +9,10 @@ settings without the library having to know about them.
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from repro.runtime.backends import Backend, get_backend
+from repro.runtime.plan import validate_pins
 
 
 class ServeConfig:
@@ -39,9 +40,21 @@ class ServeConfig:
     request_timeout_s:
         Default timeout when synchronously waiting for a prediction.
     backend:
-        Runtime kernel backend for the engine (``"reference"``/``"fast"``);
-        ``None`` defers to the ambient :mod:`repro.runtime` selection
-        (``REPRO_BACKEND`` or the process default).
+        Runtime kernel backend for the engine (``"reference"``/``"fast"``/
+        ``"parallel"``); ``None`` defers to the ambient :mod:`repro.runtime`
+        selection (``REPRO_BACKEND`` or the process default).
+    pins:
+        Optional per-layer backend pins (``{"gemm": "parallel", "unit0":
+        "fast"}`` — see :func:`repro.runtime.plan.validate_pins` for the
+        spec syntax).  The micro-batcher applies them to its engine via
+        ``engine.apply_pins`` at construction, so they take effect even on
+        an engine built without pins; engines that cannot honour pins (bare
+        predict callables) are rejected.
+    autoscale_wait / min_wait_ms:
+        When ``autoscale_wait`` is true the micro-batcher adapts its
+        coalescing window to the queue-depth EWMA, between ``min_wait_ms``
+        and ``max_wait_ms``: a deep backlog fills batches by itself (waiting
+        only adds latency), an idle queue earns the full window.
     """
 
     config_type = "serve"
@@ -56,12 +69,20 @@ class ServeConfig:
         poll_timeout_ms: float = 20.0,
         request_timeout_s: float = 30.0,
         backend: Any = None,
+        pins: Optional[Dict[str, str]] = None,
+        autoscale_wait: bool = False,
+        min_wait_ms: float = 0.0,
         **kwargs: Any,
     ) -> None:
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
         if max_wait_ms < 0:
             raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        if min_wait_ms < 0 or min_wait_ms > max_wait_ms:
+            raise ValueError(
+                f"min_wait_ms must be in [0, max_wait_ms={max_wait_ms}], "
+                f"got {min_wait_ms}"
+            )
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
         if cache_capacity < 0:
@@ -81,9 +102,13 @@ class ServeConfig:
         if backend is not None and not isinstance(backend, Backend):
             get_backend(backend)  # fail at construction, not in a worker
         self.backend = backend
+        self.pins = dict(validate_pins(pins)) if pins else None
+        self.autoscale_wait = bool(autoscale_wait)
+        self.min_wait_ms = float(min_wait_ms)
 
         # Derived fields used by the hot path (seconds, not milliseconds).
         self.max_wait_s = self.max_wait_ms / 1000.0
+        self.min_wait_s = self.min_wait_ms / 1000.0
         self.poll_timeout_s = self.poll_timeout_ms / 1000.0
 
         # Deployment-specific extras ride along untouched.
@@ -103,6 +128,9 @@ class ServeConfig:
             "poll_timeout_ms": self.poll_timeout_ms,
             "request_timeout_s": self.request_timeout_s,
             "backend": getattr(self.backend, "name", self.backend),
+            "pins": self.pins,
+            "autoscale_wait": self.autoscale_wait,
+            "min_wait_ms": self.min_wait_ms,
         }
         for key in self._extra_keys:
             payload[key] = getattr(self, key)

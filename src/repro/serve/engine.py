@@ -258,6 +258,7 @@ class Int8InferenceEngine:
         skip_first_layer: Optional[bool] = None,
         counts: Optional[OpCounts] = None,
         backend: BackendLike = None,
+        pins: Optional[dict] = None,
     ) -> None:
         if not units:
             raise ValueError("engine needs at least one frozen unit")
@@ -275,10 +276,12 @@ class Int8InferenceEngine:
             unit.eval()
             unit.set_activation_caching(False)
         # Units are permanently eval from here on; static_eval spares the
-        # per-batch mode save/restore walk on the serving hot path.
+        # per-batch mode save/restore walk on the serving hot path.  The
+        # compiled plan fuses norm→gemm→activation runs and honours the
+        # per-layer backend pins.
         self.executor = PlanExecutor.for_units(
             self.units, flatten_input=flatten_input, backend=backend,
-            static_eval=True,
+            static_eval=True, pins=pins,
         )
 
     # ------------------------------------------------------------------ #
@@ -288,6 +291,7 @@ class Int8InferenceEngine:
         artifact: InferenceArtifact,
         bundle: Optional[ModelBundle] = None,
         backend: BackendLike = None,
+        pins: Optional[dict] = None,
     ) -> "Int8InferenceEngine":
         """Materialize an engine from an exported artifact.
 
@@ -295,7 +299,9 @@ class Int8InferenceEngine:
         artifact's registry reference.  The passed bundle's blocks are frozen
         in place (weights overwritten, INT8 kernels attached) — do not keep
         training it afterwards.  ``backend`` pins a kernel backend for this
-        engine; by default the ambient runtime selection applies.
+        engine; by default the ambient runtime selection applies.  ``pins``
+        overrides the backend per layer (a pinned layer outranks even the
+        engine-level backend).
         """
         if bundle is None:
             bundle = _bundle_from_metadata(artifact)
@@ -317,9 +323,23 @@ class Int8InferenceEngine:
             skip_first_layer=artifact.skip_first_layer,
             counts=counts,
             backend=backend,
+            pins=pins,
         )
 
     # ------------------------------------------------------------------ #
+    def apply_pins(self, pins: Optional[dict]) -> "Int8InferenceEngine":
+        """Recompile the execution plan with per-layer backend pins.
+
+        Replaces any pins the plan was compiled with; the micro-batcher
+        calls this so ``ServeConfig.pins`` reaches an engine that was built
+        without them.  Returns ``self`` for chaining.
+        """
+        self.executor = PlanExecutor.for_units(
+            self.units, flatten_input=self.flatten_input,
+            backend=self.executor.backend, static_eval=True, pins=pins,
+        )
+        return self
+
     @property
     def num_classes(self) -> int:
         return self.overlay.num_classes
@@ -349,9 +369,12 @@ def build_engine(
     artifact: InferenceArtifact,
     bundle: Optional[ModelBundle] = None,
     backend: BackendLike = None,
+    pins: Optional[dict] = None,
 ) -> Int8InferenceEngine:
     """Convenience alias for :meth:`Int8InferenceEngine.from_artifact`."""
-    return Int8InferenceEngine.from_artifact(artifact, bundle, backend=backend)
+    return Int8InferenceEngine.from_artifact(
+        artifact, bundle, backend=backend, pins=pins
+    )
 
 
 def frozen_classifier(

@@ -33,14 +33,24 @@ def latency_percentiles(
 
 
 class ServeMetrics:
-    """Thread-safe collector for the micro-batching inference service."""
+    """Thread-safe collector for the micro-batching inference service.
 
-    def __init__(self, clock=time.perf_counter) -> None:
+    ``ewma_alpha`` weights the exponentially-weighted moving average of the
+    sampled queue depths — the load signal the micro-batcher's adaptive
+    coalescing window feeds on (higher alpha reacts faster, lower alpha
+    smooths bursts).
+    """
+
+    def __init__(self, clock=time.perf_counter, ewma_alpha: float = 0.2) -> None:
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError(f"ewma_alpha must be in (0, 1], got {ewma_alpha}")
         self._clock = clock
+        self._ewma_alpha = float(ewma_alpha)
         self._lock = threading.Lock()
         self._latencies_ms: List[float] = []
         self._batch_sizes: List[int] = []
         self._queue_depths: List[int] = []
+        self._queue_depth_ewma = 0.0
         self._cached_requests = 0
         self._deduped_requests = 0
         self._first_ts: Optional[float] = None
@@ -55,6 +65,15 @@ class ServeMetrics:
             if self._first_ts is None:
                 self._first_ts = self._clock()
             self._queue_depths.append(int(queue_depth))
+            alpha = self._ewma_alpha
+            self._queue_depth_ewma = (
+                (1.0 - alpha) * self._queue_depth_ewma + alpha * queue_depth
+            )
+
+    def queue_depth_ewma(self) -> float:
+        """Current exponentially-weighted moving average of the queue depth."""
+        with self._lock:
+            return self._queue_depth_ewma
 
     def record_batch(self, latencies_ms: Sequence[float]) -> None:
         """Record one dispatched engine batch and its per-request latencies."""
@@ -91,6 +110,7 @@ class ServeMetrics:
             self._latencies_ms.clear()
             self._batch_sizes.clear()
             self._queue_depths.clear()
+            self._queue_depth_ewma = 0.0
             self._cached_requests = 0
             self._deduped_requests = 0
             self._first_ts = None
@@ -105,6 +125,7 @@ class ServeMetrics:
             latencies = list(self._latencies_ms)
             batch_sizes = list(self._batch_sizes)
             queue_depths = list(self._queue_depths)
+            queue_ewma = self._queue_depth_ewma
             cached = self._cached_requests
             deduped = self._deduped_requests
             first_ts, last_ts = self._first_ts, self._last_ts
@@ -123,6 +144,7 @@ class ServeMetrics:
             "max_batch_size": float(max(batch_sizes)) if batch_sizes else 0.0,
             "mean_queue_depth": float(np.mean(queue_depths)) if queue_depths else 0.0,
             "max_queue_depth": float(max(queue_depths)) if queue_depths else 0.0,
+            "queue_depth_ewma": float(queue_ewma),
             "mean_latency_ms": float(np.mean(latencies)) if latencies else 0.0,
             "max_latency_ms": float(max(latencies)) if latencies else 0.0,
         }
@@ -133,11 +155,14 @@ class ServeMetrics:
         self,
         title: str = "serving metrics",
         cache_stats: Optional[Dict[str, float]] = None,
+        extra_rows: Optional[Sequence[Sequence[object]]] = None,
     ) -> str:
         """Render the snapshot as the repo's standard ASCII table.
 
         ``cache_stats`` (a :meth:`PredictionCache.stats` snapshot) appends
-        the prediction cache's hit-rate to the report.
+        the prediction cache's hit-rate to the report; ``extra_rows`` lets
+        the caller surface derived state (e.g. the micro-batcher's adaptive
+        coalescing window).
         """
         snap = self.snapshot()
         rows = [
@@ -156,5 +181,7 @@ class ServeMetrics:
         if cache_stats is not None:
             rows.append(["cache hit rate", float(cache_stats["hit_rate"])])
             rows.append(["cache entries", float(cache_stats["entries"])])
+        if extra_rows:
+            rows.extend([list(row) for row in extra_rows])
         return format_table(["metric", "value"], rows, title=title,
                             float_format="{:.3f}")

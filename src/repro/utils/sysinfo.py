@@ -1,0 +1,67 @@
+"""Machine/environment metadata attached to benchmark records.
+
+Wall-clock benchmark numbers are meaningless without the hardware and BLAS
+they were measured on; every ``benchmarks/results/*.json`` writer and the
+CLI ``serve-bench`` summary attach :func:`machine_meta` so records from
+different machines can be told apart.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+
+def _blas_info() -> Dict[str, Any]:
+    """Best-effort description of the BLAS NumPy links against."""
+    try:
+        config = np.show_config(mode="dicts")  # numpy >= 1.25
+        blas = (config or {}).get("Build Dependencies", {}).get("blas", {})
+        info = {
+            key: blas[key]
+            for key in ("name", "version", "openblas configuration")
+            if blas.get(key)
+        }
+        if info:
+            return info
+    except Exception:
+        pass
+    try:  # legacy numpy exposes distutils-style info dicts
+        from numpy import __config__ as np_config
+
+        libraries = getattr(np_config, "blas_opt_info", {}).get("libraries")
+        if libraries:
+            return {"name": ",".join(libraries)}
+    except Exception:
+        pass
+    return {"name": "unknown"}
+
+
+def machine_meta(backend: Optional[object] = None) -> Dict[str, Any]:
+    """Context block for a wall-clock measurement (CPU, BLAS, backend).
+
+    ``backend`` names the kernel backend the numbers were measured on; when
+    omitted the ambient runtime default is recorded.
+    """
+    from repro.runtime.dispatch import default_backend_name
+
+    if backend is None:
+        backend_name = default_backend_name()
+    else:
+        backend_name = getattr(backend, "name", backend)
+    return {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "blas": _blas_info(),
+        "backend": str(backend_name),
+        "parallel_workers_env": os.environ.get("REPRO_PARALLEL_WORKERS"),
+    }
+
+
+__all__ = ["machine_meta"]

@@ -19,14 +19,16 @@ from repro.runtime import (
     compile_plan,
     get_backend,
     instrumented,
+    pin_backend,
     register_backend,
     set_default_backend,
     use_backend,
 )
 from repro.runtime import dispatch, instrument
-from repro.runtime.backends import FastBackend, ReferenceBackend
+from repro.runtime.backends import FastBackend, ParallelBackend, ReferenceBackend
 from repro.runtime.backends.fast import exact_f32_possible
 from repro.runtime.executor import PlanExecutor, forward_through_units
+from repro.runtime.plan import validate_pins
 
 
 def _mlp_units(hidden_layers=2, hidden_units=32, seed=0):
@@ -38,7 +40,7 @@ def _mlp_units(hidden_layers=2, hidden_units=32, seed=0):
 class TestPlanCompilation:
     def test_mlp_plan_steps(self):
         _, units = _mlp_units()
-        plan = compile_plan(units, flatten_input=True)
+        plan = compile_plan(units, flatten_input=True, fuse=False)
         assert plan.num_units == 2
         kinds = [step.kind for step in plan.steps]
         assert kinds == ["norm", "gemm", "activation"] * 2
@@ -46,6 +48,21 @@ class TestPlanCompilation:
         boundaries = [step.unit_index for step in plan.steps
                       if step.is_unit_output]
         assert boundaries == [0, 1]
+
+    def test_mlp_plan_fuses_norm_gemm_activation(self):
+        _, units = _mlp_units()
+        plan = compile_plan(units, flatten_input=True)
+        assert [step.kind for step in plan.steps] == ["fused", "fused"]
+        for step in plan.steps:
+            assert [sub.kind for sub in step.fused] == [
+                "norm", "gemm", "activation"
+            ]
+            assert step.is_unit_output
+            # Constituents keep their original unfused boundary flags.
+            assert [sub.is_unit_output for sub in step.fused] == [
+                False, False, True
+            ]
+        assert plan.unit_step_counts == [1, 1]
 
     def test_conv_model_keeps_structured_blocks_opaque(self):
         bundle = build_model("resnet18-mini", input_shape=(3, 16, 16))
@@ -57,19 +74,26 @@ class TestPlanCompilation:
 
     def test_describe_lists_every_step(self):
         _, units = _mlp_units()
-        plan = compile_plan(units, flatten_input=True)
+        plan = compile_plan(units, flatten_input=True, fuse=False)
         text = plan.describe()
         assert "gemm" in text and "unit-out" in text
         assert len(text.splitlines()) == len(plan.steps) + 1
+        fused_text = compile_plan(units, flatten_input=True).describe()
+        assert "FFLayerNorm+Linear+ReLU" in fused_text
 
     def test_quantized_flag_reflects_attached_engines(self):
         _, units = _mlp_units()
-        plan = compile_plan(units)
+        plan = compile_plan(units, fuse=False)
+        fused_plan = compile_plan(units)
         assert not any(step.quantized for step in plan.steps)
+        assert not any(step.quantized for step in fused_plan.steps)
         for unit in units:
             prepare_int8(unit, QuantConfig(), seed=0)
         assert any(step.quantized for step in plan.steps
                    if step.kind == "gemm")
+        # The fused step reports its constituent gemm's engine.
+        assert any(step.quantized for step in fused_plan.steps
+                   if step.kind == "fused")
 
     def test_empty_units_rejected(self):
         with pytest.raises(ValueError):
@@ -363,3 +387,403 @@ class TestInstrumentation:
         instrument.unregister_hook(hook)
         instrument.unregister_hook(hook)
         assert not instrument.hooks_active()
+
+
+class TestFusion:
+    """Fused plans must be arithmetic-identical to the unfused module walk."""
+
+    @given(
+        hidden_layers=st.integers(1, 3),
+        hidden_units=st.integers(4, 48),
+        batch=st.integers(1, 9),
+        seed=st.integers(0, 2 ** 16),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_fused_matches_unfused_fp32(
+        self, hidden_layers, hidden_units, batch, seed
+    ):
+        _, units = _mlp_units(hidden_layers, hidden_units, seed=seed)
+        for unit in units:
+            unit.eval()
+        x = np.random.default_rng(seed).normal(size=(batch, 64)).astype(
+            np.float32
+        )
+        fused = PlanExecutor.for_units(units, backend="fast")
+        unfused = PlanExecutor.for_units(units, backend="fast", fuse=False)
+        for a, b in zip(fused.unit_outputs(x), unfused.unit_outputs(x)):
+            np.testing.assert_array_equal(a, b)
+
+    @given(
+        hidden_units=st.integers(4, 48),
+        seed=st.integers(0, 2 ** 16),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_fused_matches_unfused_int8(self, hidden_units, seed):
+        x = np.random.default_rng(seed).normal(size=(5, 64)).astype(np.float32)
+        outputs = {}
+        for fuse in (False, True):
+            # Fresh engines per variant so deterministic nearest rounding
+            # sees identical state.
+            _, units = _mlp_units(2, hidden_units, seed=seed)
+            for index, unit in enumerate(units):
+                prepare_int8(
+                    unit, QuantConfig(rounding="nearest"), seed=seed + index
+                )
+                unit.eval()
+            executor = PlanExecutor.for_units(units, backend="fast", fuse=fuse)
+            outputs[fuse] = executor.unit_outputs(x)
+        for a, b in zip(outputs[True], outputs[False]):
+            np.testing.assert_array_equal(a, b)
+
+    @pytest.mark.parametrize("backend", ["fast", "parallel"])
+    def test_fused_matches_unfused_all_activations(self, backend):
+        from repro.nn.activations import (
+            LeakyReLU, ReLU, ReLU6, Sigmoid, SiLU, Tanh,
+        )
+        from repro.nn.containers import Sequential
+        from repro.nn.linear import Linear
+        from repro.nn.norm import FFLayerNorm
+
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(6, 12)).astype(np.float32)
+        for act_type in (ReLU, ReLU6, LeakyReLU, Sigmoid, SiLU, Tanh):
+            unit = Sequential(
+                FFLayerNorm(), Linear(12, 7, rng=1), act_type()
+            ).eval()
+            fused = PlanExecutor.for_units([unit], backend=backend)
+            unfused = PlanExecutor.for_units(
+                [unit], backend=backend, fuse=False
+            )
+            assert fused.plan.steps[0].kind == "fused"
+            np.testing.assert_array_equal(
+                fused.forward(x), unfused.forward(x),
+                err_msg=f"fused {act_type.__name__} diverged",
+            )
+
+    def test_fused_matches_unfused_on_nonfinite_inputs(self):
+        """NaN/inf/-0.0 rows must not expose the fusion boundary."""
+        _, units = _mlp_units(seed=3)
+        for unit in units:
+            unit.eval()
+        x = np.random.default_rng(3).normal(size=(6, 64)).astype(np.float32)
+        x[0, 0] = np.nan
+        x[1, :] = np.inf
+        x[2, :] = -0.0
+        x[3, 5] = -np.inf
+        fused = PlanExecutor.for_units(units, backend="fast")
+        unfused = PlanExecutor.for_units(units, backend="fast", fuse=False)
+        with np.errstate(invalid="ignore"):  # inf/inf norms, intentionally
+            for a, b in zip(fused.unit_outputs(x), unfused.unit_outputs(x)):
+                np.testing.assert_array_equal(a, b)
+
+    def test_training_mode_falls_back_and_fills_caches(self):
+        _, units = _mlp_units()
+        for unit in units:
+            unit.train()
+            unit.set_activation_caching(True)
+        x = np.random.default_rng(5).normal(size=(4, 64)).astype(np.float32)
+        executor = PlanExecutor.for_units(units, backend="fast")
+        assert executor.plan.steps[0].kind == "fused"
+        executor.unit_outputs(x)
+        cached = [
+            module
+            for unit in units
+            for module in unit.modules()
+            if module._cache
+        ]
+        assert cached, "fused execution starved the training caches"
+
+    def test_hooks_force_unfused_instrumented_walk(self):
+        _, units = _mlp_units()
+        for unit in units:
+            unit.eval()
+        x = np.random.default_rng(6).normal(size=(3, 64)).astype(np.float32)
+        counts = {}
+        for fuse in (True, False):
+            executor = PlanExecutor.for_units(units, backend="fast", fuse=fuse)
+            with instrument.counting() as observed:
+                executor.unit_outputs(x)
+            counts[fuse] = observed.as_dict()
+        assert counts[True] == counts[False]
+        assert counts[True]["fp32_mul"] > 0
+
+    def test_reference_backend_unchanged_by_fusion(self):
+        """The correctness oracle never executes fused kernels."""
+        _, units = _mlp_units(seed=7)
+        for unit in units:
+            unit.eval()
+        x = np.random.default_rng(7).normal(size=(6, 64)).astype(np.float32)
+        fused = PlanExecutor.for_units(units, backend="reference")
+        unfused = PlanExecutor.for_units(
+            units, backend="reference", fuse=False
+        )
+        for a, b in zip(fused.unit_outputs(x), unfused.unit_outputs(x)):
+            np.testing.assert_array_equal(a, b)
+
+    def test_seed_fingerprint_reference_with_fusion(self):
+        """Seeded INT8 predictions on ``reference`` are pinned labels.
+
+        Guards the whole lowering + fusion pipeline: if the fusion pass (or
+        any future plan rewrite) perturbed reference arithmetic, the argmax
+        labels of this fixed seeded model would shift.
+        """
+        _, units = _mlp_units(2, 24, seed=11)
+        for index, unit in enumerate(units):
+            prepare_int8(unit, QuantConfig(rounding="nearest"), seed=11 + index)
+        overlay = LabelOverlay(num_classes=10, amplitude=1.5)
+        classifier = FFGoodnessClassifier(
+            units, overlay, flatten_input=True, backend="reference"
+        )
+        inputs = np.random.default_rng(11).normal(size=(16, 64)).astype(
+            np.float32
+        )
+        labels = classifier.predict(inputs).tolist()
+        assert labels == [0, 0, 5, 9, 0, 5, 9, 9, 0, 1, 3, 7, 9, 9, 3, 9]
+
+
+class TestBackendPinning:
+    def test_pin_backend_outranks_explicit_argument(self):
+        with pin_backend("reference"):
+            assert dispatch.active_backend("fast").name == "reference"
+        assert dispatch.active_backend("fast").name == "fast"
+
+    def test_pin_backend_none_is_passthrough(self):
+        with use_backend("fast"):
+            with pin_backend(None):
+                assert dispatch.active_backend().name == "fast"
+
+    def test_pinned_step_routes_to_pinned_backend(self):
+        calls = []
+
+        class Recording(ReferenceBackend):
+            name = "recording-test"
+
+            def matmul(self, a, b):
+                calls.append(a.shape)
+                return super().matmul(a, b)
+
+        register_backend("recording-test", Recording)
+        try:
+            _, units = _mlp_units()
+            for unit in units:
+                unit.eval()
+            x = np.random.default_rng(8).normal(size=(4, 64)).astype(
+                np.float32
+            )
+            executor = PlanExecutor.for_units(
+                units, backend="fast",
+                pins={"unit1.gemm": "recording-test"},
+            )
+            reference_out = PlanExecutor.for_units(
+                units, backend="fast", fuse=False
+            ).unit_outputs(x)
+            pinned_out = executor.unit_outputs(x)
+            assert len(calls) == 1  # exactly the pinned gemm
+            for a, b in zip(pinned_out, reference_out):
+                np.testing.assert_array_equal(a, b)
+        finally:
+            from repro.runtime.backends import _FACTORIES, _INSTANCES
+            _FACTORIES.pop("recording-test", None)
+            _INSTANCES.pop("recording-test", None)
+
+    def test_pin_splits_fusion_groups(self):
+        _, units = _mlp_units()
+        plan = compile_plan(
+            units, flatten_input=True, pins={"unit0.norm": "reference"}
+        )
+        kinds = [step.kind for step in plan.steps]
+        # unit0's norm is pinned differently, so only gemm+activation fuse;
+        # unit1 keeps the full triple.
+        assert kinds == ["norm", "fused", "fused"]
+        assert plan.steps[0].backend == "reference"
+
+    def test_generic_pin_shadowed_by_specific_still_counts(self):
+        _, units = _mlp_units()
+        plan = compile_plan(
+            units,
+            pins={"gemm": "parallel", "unit0.gemm": "fast",
+                  "unit1.gemm": "fast"},
+        )
+        gemm_pins = [
+            sub.backend
+            for step in plan.steps
+            for sub in step.constituents
+            if sub.kind == "gemm"
+        ]
+        # The specific pins win on every gemm; the shadowed generic spec is
+        # not reported as a typo.
+        assert gemm_pins == ["fast", "fast"]
+
+    def test_invalid_pin_specs_rejected(self):
+        _, units = _mlp_units()
+        with pytest.raises(ValueError, match="invalid pin spec"):
+            compile_plan(units, pins={"bogus-layer": "fast"})
+        # 'fused' steps only exist after the fusion pass; the spec is
+        # structurally impossible and must fail eager validation.
+        with pytest.raises(ValueError, match="invalid pin spec"):
+            validate_pins({"fused": "fast"})
+        with pytest.raises(ValueError, match="invalid pin spec"):
+            validate_pins({"unit0.fused": "fast"})
+        with pytest.raises(ValueError, match="unknown backend"):
+            compile_plan(units, pins={"gemm": "no-such-backend"})
+        with pytest.raises(ValueError, match="matched no step"):
+            compile_plan(units, pins={"depthwise": "fast"})
+        with pytest.raises(ValueError, match="matched no step"):
+            compile_plan(units, pins={"unit5": "fast"})
+
+    def test_configs_validate_pins_eagerly(self):
+        from repro.core.ff_trainer import FFConfig
+        from repro.serve import ServeConfig
+
+        with pytest.raises(ValueError, match="invalid pin spec"):
+            FFConfig(pins={"not a layer": "fast"})
+        with pytest.raises(ValueError, match="unknown backend"):
+            ServeConfig(pins={"gemm": "fats"})
+        assert ServeConfig(pins={"gemm": "parallel"}).pins == {
+            "gemm": "parallel"
+        }
+        assert validate_pins({"unit0.gemm": "fast"}) == {"unit0.gemm": "fast"}
+
+
+class TestParallelBackend:
+    """The parallel backend must be bit-identical to the reference backend."""
+
+    def _forced(self):
+        # Force real tiling even on single-core CI machines.
+        return ParallelBackend(num_workers=4, min_rows_per_tile=8)
+
+    def test_registered(self):
+        assert "parallel" in available_backends()
+        assert isinstance(get_backend("parallel"), ParallelBackend)
+
+    @given(
+        rows=st.integers(1, 80),
+        inner=st.integers(1, 600),
+        cols=st.integers(1, 12),
+        seed=st.integers(0, 2 ** 16),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_int8_gemm_parity(self, rows, inner, cols, seed):
+        rng = np.random.default_rng(seed)
+        lhs = rng.integers(-128, 128, size=(rows, inner)).astype(np.int8)
+        rhs = rng.integers(-128, 128, size=(inner, cols)).astype(np.int8)
+        ref = ReferenceBackend().int8_gemm(lhs, rhs)
+        par = self._forced().int8_gemm(lhs, rhs)
+        np.testing.assert_array_equal(
+            np.asarray(ref, dtype=np.int64), np.asarray(par, dtype=np.int64)
+        )
+
+    @given(seed=st.integers(0, 2 ** 16))
+    @settings(max_examples=10, deadline=None)
+    def test_wide_dtype_gemm_parity(self, seed):
+        rng = np.random.default_rng(seed)
+        lhs = rng.integers(-300, 300, size=(40, 32)).astype(np.int16)
+        rhs = rng.integers(-300, 300, size=(32, 6)).astype(np.int16)
+        ref = ReferenceBackend().int8_gemm(lhs, rhs)
+        par = self._forced().int8_gemm(lhs, rhs)
+        assert par.dtype == np.int64
+        np.testing.assert_array_equal(ref, par)
+
+    @given(
+        rows=st.integers(1, 64),
+        inner=st.integers(1, 300),
+        cols=st.integers(1, 10),
+        seed=st.integers(0, 2 ** 16),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_rowwise_quantized_gemm_parity(self, rows, inner, cols, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(rows, inner)).astype(np.float32)
+        rhs = rng.integers(-127, 128, size=(inner, cols)).astype(np.int8)
+        acc_ref, scales_ref = ReferenceBackend().rowwise_quantized_gemm(
+            x, rhs, 127
+        )
+        acc_par, scales_par = self._forced().rowwise_quantized_gemm(
+            x, rhs, 127
+        )
+        np.testing.assert_array_equal(scales_ref, scales_par)
+        np.testing.assert_array_equal(
+            np.asarray(acc_ref, dtype=np.float64),
+            np.asarray(acc_par, dtype=np.float64),
+        )
+
+    @given(
+        positions=st.integers(1, 400),
+        channels=st.integers(1, 24),
+        kernel=st.integers(1, 25),
+        seed=st.integers(0, 2 ** 16),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_depthwise_parity(self, positions, channels, kernel, seed):
+        rng = np.random.default_rng(seed)
+        cols = rng.integers(
+            -128, 128, size=(positions, channels, kernel)
+        ).astype(np.int8)
+        weight = rng.integers(-128, 128, size=(channels, kernel)).astype(
+            np.int8
+        )
+        grad = rng.integers(-128, 128, size=(positions, channels)).astype(
+            np.int8
+        )
+        reference = ReferenceBackend()
+        parallel = self._forced()
+        np.testing.assert_array_equal(
+            reference.int8_depthwise(cols, weight),
+            parallel.int8_depthwise(cols, weight),
+        )
+        np.testing.assert_array_equal(
+            reference.int8_depthwise_grad(grad, cols),
+            parallel.int8_depthwise_grad(grad, cols),
+        )
+
+    def test_depthwise_grad_beyond_exact_window(self):
+        # More positions than one exact-float32 tile can hold: the partial
+        # sums must chain through the int64 cross-tile reduction.
+        rng = np.random.default_rng(3)
+        positions = 2600  # > (2^24 - 1) // 128^2 rows per tile
+        cols = np.full((positions, 3, 9), -128, dtype=np.int8)
+        cols[::7] = 127
+        grad = np.full((positions, 3), -128, dtype=np.int8)
+        grad[::3] = 127
+        del rng
+        ref = ReferenceBackend().int8_depthwise_grad(grad, cols)
+        par = self._forced().int8_depthwise_grad(grad, cols)
+        np.testing.assert_array_equal(ref, par)
+
+    @given(
+        hidden_layers=st.integers(1, 2),
+        hidden_units=st.integers(4, 40),
+        seed=st.integers(0, 2 ** 16),
+    )
+    @settings(max_examples=6, deadline=None)
+    def test_random_model_prediction_parity(
+        self, hidden_layers, hidden_units, seed
+    ):
+        rng = np.random.default_rng(seed)
+        inputs = rng.normal(size=(5, 64)).astype(np.float32)
+        overlay = LabelOverlay(num_classes=10, amplitude=1.0)
+        forced = self._forced()
+        matrices = {}
+        for backend in ("reference", forced):
+            bundle, units = _mlp_units(hidden_layers, hidden_units, seed=seed)
+            for index, unit in enumerate(units):
+                prepare_int8(unit, QuantConfig(), seed=seed + index)
+            classifier = FFGoodnessClassifier(
+                units, overlay, flatten_input=True, backend=backend
+            )
+            key = getattr(backend, "name", backend)
+            matrices[key] = classifier.goodness_matrix(inputs)
+        np.testing.assert_array_equal(
+            matrices["reference"], matrices["parallel"]
+        )
+
+    def test_single_worker_delegates_to_fast(self):
+        backend = ParallelBackend(num_workers=1)
+        rng = np.random.default_rng(0)
+        lhs = rng.integers(-128, 128, size=(64, 100)).astype(np.int8)
+        rhs = rng.integers(-128, 128, size=(100, 8)).astype(np.int8)
+        assert backend._tiles(lhs.shape[0]) is None
+        np.testing.assert_array_equal(
+            np.asarray(backend.int8_gemm(lhs, rhs), dtype=np.int64),
+            np.asarray(FastBackend().int8_gemm(lhs, rhs), dtype=np.int64),
+        )

@@ -299,3 +299,106 @@ class TestMicroBatcher:
         assert snap["requests"] == 20
         assert snap["batches"] == model.calls
         assert snap["p95"] >= snap["p50"] >= 0.0
+
+
+class TestConfigPins:
+    def test_bare_callable_engine_rejects_pins(self):
+        config = ServeConfig(pins={"gemm": "fast"}, cache_capacity=0)
+        with pytest.raises(TypeError, match="apply_pins"):
+            MicroBatcher(_CountingModel(), config)
+
+    def test_config_pins_reach_the_engine_plan(self):
+        class _PinnableModel(_CountingModel):
+            def __init__(self):
+                super().__init__()
+                self.applied = None
+
+            def apply_pins(self, pins):
+                self.applied = pins
+                return self
+
+        model = _PinnableModel()
+        config = ServeConfig(pins={"gemm": "parallel"}, cache_capacity=0)
+        with MicroBatcher(model, config) as batcher:
+            batcher.predict(np.ones(4, dtype=np.float32))
+        assert model.applied == {"gemm": "parallel"}
+
+
+class TestAdaptiveWait:
+    def test_config_validates_bounds(self):
+        with pytest.raises(ValueError, match="min_wait_ms"):
+            ServeConfig(max_wait_ms=2.0, min_wait_ms=5.0)
+        with pytest.raises(ValueError, match="min_wait_ms"):
+            ServeConfig(min_wait_ms=-1.0)
+        config = ServeConfig(autoscale_wait=True, max_wait_ms=4.0,
+                             min_wait_ms=0.5)
+        assert config.autoscale_wait and config.min_wait_s == 0.0005
+        assert config.as_dict()["autoscale_wait"] is True
+
+    def test_queue_depth_ewma_tracks_load(self):
+        from repro.serve.metrics import ServeMetrics
+
+        metrics = ServeMetrics(ewma_alpha=0.5)
+        assert metrics.queue_depth_ewma() == 0.0
+        for depth in (8, 8, 8, 8):
+            metrics.record_enqueue(depth)
+        high = metrics.queue_depth_ewma()
+        assert 6.0 < high <= 8.0
+        for _ in range(8):
+            metrics.record_enqueue(0)
+        assert metrics.queue_depth_ewma() < high
+        assert "queue_depth_ewma" in metrics.snapshot()
+        metrics.reset()
+        assert metrics.queue_depth_ewma() == 0.0
+
+    def test_window_shrinks_under_load(self):
+        model = _CountingModel()
+        config = ServeConfig(max_batch_size=8, max_wait_ms=10.0,
+                             min_wait_ms=1.0, autoscale_wait=True,
+                             cache_capacity=0)
+        batcher = MicroBatcher(model, config)
+        # Idle queue: the full window applies.
+        assert batcher._wait_window_s() == pytest.approx(config.max_wait_s)
+        # Saturated queue: the window collapses to the lower bound.
+        for _ in range(50):
+            batcher.metrics.record_enqueue(3 * config.max_batch_size)
+        assert batcher._wait_window_s() == pytest.approx(config.min_wait_s)
+        assert batcher.current_wait_ms == pytest.approx(config.min_wait_ms)
+
+    def test_fixed_window_without_autoscale(self):
+        model = _CountingModel()
+        config = ServeConfig(max_batch_size=8, max_wait_ms=10.0,
+                             cache_capacity=0)
+        batcher = MicroBatcher(model, config)
+        for _ in range(50):
+            batcher.metrics.record_enqueue(64)
+        assert batcher._wait_window_s() == pytest.approx(config.max_wait_s)
+
+    def test_report_includes_adaptive_window(self):
+        model = _CountingModel()
+        config = ServeConfig(max_batch_size=4, max_wait_ms=5.0,
+                             min_wait_ms=0.5, autoscale_wait=True,
+                             cache_capacity=0)
+        with MicroBatcher(model, config) as batcher:
+            batcher.predict_many(self._samples_for_report(12))
+            report = batcher.format_report()
+        assert "adaptive max_wait (ms)" in report
+        # Without autoscaling the row is absent.
+        plain = MicroBatcher(_CountingModel(), ServeConfig(cache_capacity=0))
+        assert "adaptive max_wait" not in plain.format_report()
+
+    @staticmethod
+    def _samples_for_report(count, seed=1):
+        rng = np.random.default_rng(seed)
+        return [rng.normal(size=(6,)).astype(np.float32) for _ in range(count)]
+
+    def test_adaptive_serving_stays_correct(self):
+        model = _CountingModel(delay_s=0.001)
+        samples = self._samples_for_report(40, seed=2)
+        config = ServeConfig(max_batch_size=8, max_wait_ms=8.0,
+                             min_wait_ms=0.2, autoscale_wait=True,
+                             cache_capacity=0)
+        with MicroBatcher(model, config) as batcher:
+            labels = batcher.predict_many(samples)
+        np.testing.assert_array_equal(labels, model.predict(np.stack(samples)))
+        assert config.min_wait_s <= batcher._current_wait_s <= config.max_wait_s
