@@ -16,7 +16,13 @@ from repro.analysis import ExperimentResult
 from repro.utils.serialization import save_json
 from repro.utils.sysinfo import machine_meta
 
-RESULTS_DIR = Path(__file__).resolve().parent / "results"
+#: Where benchmark records are written.  ``REPRO_BENCH_RESULTS_DIR`` points
+#: fresh runs somewhere else so ``benchmarks/compare.py`` can diff them
+#: against the committed baselines without overwriting them.
+RESULTS_DIR = Path(
+    os.environ.get("REPRO_BENCH_RESULTS_DIR")
+    or Path(__file__).resolve().parent / "results"
+)
 
 
 def bench_epochs(default: int) -> int:

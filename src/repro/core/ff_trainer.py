@@ -78,6 +78,8 @@ class FFConfig:
         if self.backend is not None:
             dispatch.get_backend(self.backend)  # fail fast on typos
         if self.pins:
+            # A spec mapping, or "auto" to resolve each layer's backend
+            # from measured timings at plan-compile time.
             from repro.runtime.plan import validate_pins
 
             validate_pins(self.pins)
@@ -141,11 +143,15 @@ class ForwardForwardTrainer:
         classifier = FFGoodnessClassifier(
             units, overlay, goodness=goodness, flatten_input=bundle.flatten_input,
             backend=config.backend, pins=config.pins,
+            auto_rows=config.batch_size,
         )
         # One compiled plan drives every training forward pass; the backward
         # sweep still walks the unit modules, whose caches the plan filled.
+        # Auto pins resolve at the training batch height, not the serving
+        # default.
         executor = PlanExecutor.for_units(
-            units, backend=config.backend, pins=config.pins
+            units, backend=config.backend, pins=config.pins,
+            auto_rows=config.batch_size,
         )
         optimizers = self._build_optimizers(units)
 

@@ -1,0 +1,367 @@
+"""Measured auto-pinning: resolve per-layer backends from timing data.
+
+Hand-written ``--pin`` specs encode a human's guess about which backend wins
+at which layer shape; with four backends (``reference``/``fast``/
+``parallel``/``shard``) that guess does not scale.  This module turns the
+guess into a measurement:
+
+* :func:`load_recorded_cases` reads the committed kernel microbenchmark
+  record (``benchmarks/results/kernel_micro.json``) and keeps it only when
+  its ``meta`` sysinfo block matches the machine it is running on and it
+  covers every candidate backend — a record measured on different hardware
+  (or before a backend existed) is *stale* and is ignored.
+* :func:`calibrate` times the serving-shaped fused quantize+GEMM at the
+  exact layer shapes of a compiled plan, in-process, in a ~100 ms budget
+  (small best-of repeats, rows capped).  It fills in whenever the recorded
+  data is absent or stale, and its results are cached per shape set.
+* :func:`autopin` (and :func:`autopin_steps`, the pass ``compile_plan``
+  runs for ``pins="auto"``) rewrites each GEMM-bearing
+  :class:`~repro.runtime.plan.KernelStep` with ``backend=`` the measured
+  winner for its ``(rows, reduce_dim)`` shape.
+
+Only the exact, bit-identical builtin backends are candidates
+(:data:`AUTOPIN_CANDIDATES`): auto-pinning is a pure performance decision
+and must never route a layer onto an unverified user-registered backend.
+Non-GEMM steps (conv im2col, depthwise, norms outside fused groups) keep
+the ambient backend selection.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.runtime.plan import KernelStep
+from repro.utils.sysinfo import machine_meta, same_machine
+
+#: backends auto-pinning may choose between, in preference order for ties —
+#: all bit-identical, so a wrong pick can only cost time, never a number.
+AUTOPIN_CANDIDATES = ("fast", "parallel", "shard")
+
+#: default expected GEMM rows when the caller gives no batch hint: the
+#: serve-shaped folded readout (10 label overlays x 32 coalesced requests).
+DEFAULT_BATCH_ROWS = 320
+
+#: environment override for the recorded-timings file.
+KERNEL_MICRO_ENV_VAR = "REPRO_KERNEL_MICRO"
+
+#: calibration budget knobs: best-of repeats and a cap on synthetic rows
+#: (a winner at the cap generalizes upward — the crossovers are monotone in
+#: rows for the row-tiled backends).
+_CALIBRATE_REPEATS = 3
+_CALIBRATE_MAX_ROWS = 1024
+
+#: in-process calibration cache: shape/candidates -> timings (ms).
+_calibration_cache: Dict[tuple, Dict[str, float]] = {}
+
+
+class TimingCase:
+    """One measured GEMM shape with per-backend wall-clock timings (ms)."""
+
+    __slots__ = ("rows", "reduce_dim", "cols", "timings")
+
+    def __init__(self, rows: int, reduce_dim: int, cols: int,
+                 timings: Dict[str, float]) -> None:
+        self.rows = int(rows)
+        self.reduce_dim = int(reduce_dim)
+        self.cols = int(cols)
+        self.timings = dict(timings)
+
+    def distance(self, rows: int, reduce_dim: int) -> float:
+        """Log-space distance from this case to a query shape."""
+        return abs(math.log(max(rows, 1) / max(self.rows, 1))) + abs(
+            math.log(max(reduce_dim, 1) / max(self.reduce_dim, 1))
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TimingCase(rows={self.rows}, reduce={self.reduce_dim}, "
+            f"cols={self.cols}, timings={self.timings})"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# recorded timings (kernel_micro.json)
+# --------------------------------------------------------------------------- #
+def _default_record_path() -> Path:
+    override = os.environ.get(KERNEL_MICRO_ENV_VAR)
+    if override:
+        return Path(override)
+    # src/repro/runtime/ -> repo root; only meaningful for source checkouts,
+    # which is where the committed benchmark records live.
+    return (
+        Path(__file__).resolve().parents[3]
+        / "benchmarks" / "results" / "kernel_micro.json"
+    )
+
+
+def record_is_fresh(record: dict, candidates: Sequence[str]) -> bool:
+    """True when a kernel_micro record speaks for *this* machine and setup.
+
+    Wall-clock crossovers move with the CPU, the core count, and the
+    BLAS/NumPy build; a record from any other combination must not steer
+    routing here.  It must also cover every candidate backend — a record
+    written before a backend existed cannot rank it.
+    """
+    if not same_machine(record.get("meta"), machine_meta()):
+        return False
+    kernels = (record.get("results") or {}).get("kernels") or {}
+    for case in ("gemm_large", "rowwise_serve"):
+        timings = kernels.get(case) or {}
+        if not all(name in timings for name in candidates):
+            return False
+    return True
+
+
+def cases_from_record(record: dict) -> List[TimingCase]:
+    """Timing cases for the record's dense-GEMM shapes (rows, K, N)."""
+    parameters = record.get("parameters") or {}
+    kernels = (record.get("results") or {}).get("kernels") or {}
+    cases = []
+    for name in ("rowwise_serve", "gemm_large"):
+        shape = parameters.get(name)
+        timings = kernels.get(name)
+        if shape and timings:
+            cases.append(TimingCase(shape[0], shape[1], shape[2], timings))
+    return cases
+
+
+def load_recorded_cases(
+    path: Optional[os.PathLike] = None,
+    candidates: Sequence[str] = AUTOPIN_CANDIDATES,
+) -> Optional[List[TimingCase]]:
+    """Recorded timing cases, or ``None`` when absent/stale for this CPU."""
+    record_path = Path(path) if path is not None else _default_record_path()
+    try:
+        record = json.loads(record_path.read_text())
+    except (OSError, ValueError):
+        return None
+    if not record_is_fresh(record, candidates):
+        return None
+    cases = cases_from_record(record)
+    return cases or None
+
+
+# --------------------------------------------------------------------------- #
+# in-process calibration
+# --------------------------------------------------------------------------- #
+def time_rowwise_kernel(
+    backend,
+    rows: int,
+    reduce_dim: int,
+    cols: int,
+    repeats: int = _CALIBRATE_REPEATS,
+    seed: int = 0,
+) -> float:
+    """Best-of wall-clock (ms) of one fused quantize+GEMM case.
+
+    The single timing harness every measured routing decision shares —
+    :func:`calibrate` ranks backends with it and
+    :meth:`ShardBackend.calibrate_min_rows <repro.runtime.backends.shard.ShardBackend.calibrate_min_rows>`
+    finds its delegation crossover with it — so the two calibrations can
+    never measure subtly different things.  Operands are seeded, so equal
+    (shape, seed) calls time identical data.
+    """
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(rows, reduce_dim)).astype(np.float32)
+    rhs = rng.integers(-127, 128, size=(reduce_dim, cols)).astype(np.int8)
+    backend.rowwise_quantized_gemm(x, rhs, 127)  # warm-up
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        backend.rowwise_quantized_gemm(x, rhs, 127)
+        best = min(best, time.perf_counter() - started)
+    return 1000.0 * best
+
+
+def calibrate(
+    shapes: Sequence[Tuple[int, int, int]],
+    candidates: Sequence[str] = AUTOPIN_CANDIDATES,
+    repeats: int = _CALIBRATE_REPEATS,
+    seed: int = 0,
+) -> List[TimingCase]:
+    """Time the fused quantize+GEMM at ``shapes`` on each candidate backend.
+
+    The serving hot kernel (``rowwise_quantized_gemm``) stands in for the
+    whole dense-GEMM surface: the backends differ by their tiling/IPC
+    strategy, not by kernel-specific constants, so its crossover ranks them
+    for ``int8_gemm`` and the fused plan steps too.  Results are cached per
+    (shape, candidates) for the life of the process; a full calibration of
+    a few layer shapes stays in a ~100 ms budget.
+
+    The measurement models the serving steady state — one weight operand
+    reused across repeats, so shard's fingerprint staging is a cache hit
+    exactly as it is for a frozen engine.  Training-style workloads that
+    re-derive weights per step pay shard a per-call staging cost this
+    ranking does not include (their batches normally delegate below the
+    shard row threshold, where the ranking is unaffected).
+    """
+    from repro.runtime.backends import available_backends, get_backend
+
+    registered = set(available_backends())
+    names = [name for name in candidates if name in registered]
+    # Pool-owning backends whose workers the *measurement* starts (process
+    # pools, or the thread pool shard's delegated path uses) are released
+    # again afterwards: a candidate that loses everywhere would otherwise
+    # keep workers alive with no engine owning (and eventually closing)
+    # them.  Winners restart their pool lazily on the first real kernel
+    # call, and staged weight segments survive (stop_workers, not
+    # shutdown).
+    idle_before = [
+        backend for backend in (get_backend(name) for name in names)
+        if not getattr(backend, "workers_active", True)
+    ]
+    measured = False
+    cases = []
+    for rows, reduce_dim, cols in shapes:
+        rows_c = max(1, min(int(rows), _CALIBRATE_MAX_ROWS))
+        key = (rows_c, int(reduce_dim), int(cols), tuple(names),
+               int(repeats), int(seed))
+        timings = _calibration_cache.get(key)
+        if timings is None:
+            measured = True
+            timings = {
+                name: time_rowwise_kernel(
+                    get_backend(name), rows_c, reduce_dim, cols,
+                    repeats=repeats, seed=seed,
+                )
+                for name in names
+            }
+            _calibration_cache[key] = timings
+        cases.append(TimingCase(rows_c, reduce_dim, cols, timings))
+    if measured:
+        for backend in idle_before:
+            if getattr(backend, "workers_active", False):
+                # Workers-only teardown: a full shutdown would also unlink
+                # weight segments that other engines staged against this
+                # (shared) backend instance.
+                backend.stop_workers()
+    return cases
+
+
+def clear_calibration_cache() -> None:
+    """Forget in-process calibration measurements (tests, CPU migration)."""
+    _calibration_cache.clear()
+
+
+# --------------------------------------------------------------------------- #
+# resolution
+# --------------------------------------------------------------------------- #
+def gemm_shape(step: KernelStep) -> Optional[Tuple[int, int]]:
+    """``(reduce_dim, cols)`` of the GEMM a step executes, if any."""
+    for sub in step.constituents:
+        if sub.kind != "gemm":
+            continue
+        module = sub.module
+        engine = getattr(module, "quant_engine", None)
+        weight_qt = getattr(engine, "weight_qT", None)
+        if weight_qt is not None and getattr(weight_qt, "ndim", 0) == 2:
+            return int(weight_qt.shape[0]), int(weight_qt.shape[1])
+        weight = getattr(getattr(module, "weight", None), "data", None)
+        if weight is not None and weight.ndim == 2:  # Linear: (out, in)
+            return int(weight.shape[1]), int(weight.shape[0])
+    return None
+
+
+def resolve_backend(
+    rows: int,
+    reduce_dim: int,
+    cases: Sequence[TimingCase],
+    candidates: Sequence[str] = AUTOPIN_CANDIDATES,
+) -> Optional[str]:
+    """The measured winner for a GEMM shape (nearest case in log space)."""
+    best_case = None
+    for case in cases:
+        if not any(name in case.timings for name in candidates):
+            continue
+        if best_case is None or case.distance(rows, reduce_dim) < (
+            best_case.distance(rows, reduce_dim)
+        ):
+            best_case = case
+    if best_case is None:
+        return None
+    winner = None
+    for name in candidates:  # candidate order breaks exact ties
+        ms = best_case.timings.get(name)
+        if ms is not None and (winner is None or ms < best_case.timings[winner]):
+            winner = name
+    return winner
+
+
+def autopin_steps(
+    steps: Sequence[KernelStep],
+    batch_rows: Optional[int] = None,
+    cases: Optional[Sequence[TimingCase]] = None,
+    candidates: Sequence[str] = AUTOPIN_CANDIDATES,
+) -> List[KernelStep]:
+    """Rewrite GEMM-bearing steps with their measured backend winner.
+
+    ``cases`` defaults to the committed kernel microbenchmark record when
+    it is fresh for this machine, else to an in-process calibration over
+    the plan's own layer shapes.  Steps without a resolvable GEMM shape
+    (convs, pools, opaque modules) pass through unpinned.
+    """
+    from dataclasses import replace
+
+    rows = int(batch_rows) if batch_rows else DEFAULT_BATCH_ROWS
+    shapes = [gemm_shape(step) for step in steps]
+    if cases is None:
+        cases = load_recorded_cases(candidates=candidates)
+    if cases is None:
+        wanted = sorted(
+            {(rows, k, n) for shape in shapes if shape for k, n in [shape]}
+        )
+        cases = calibrate(wanted, candidates=candidates) if wanted else []
+    pinned = []
+    for step, shape in zip(steps, shapes):
+        if shape is None:
+            pinned.append(step)
+            continue
+        winner = resolve_backend(rows, shape[0], cases, candidates)
+        pinned.append(replace(step, backend=winner) if winner else step)
+    return pinned
+
+
+def autopin(
+    plan,
+    batch_rows: Optional[int] = None,
+    cases: Optional[Sequence[TimingCase]] = None,
+    candidates: Sequence[str] = AUTOPIN_CANDIDATES,
+):
+    """A copy of ``plan`` with every GEMM step pinned to its measured winner.
+
+    ``batch_rows`` is the expected GEMM batch height (for serving: the
+    coalesced batch times the folded label count); it defaults to the
+    serve-shaped :data:`DEFAULT_BATCH_ROWS`.  See :func:`autopin_steps`
+    for the timing-source resolution order.
+    """
+    from dataclasses import replace as dc_replace
+
+    steps = autopin_steps(
+        plan.steps, batch_rows=batch_rows, cases=cases, candidates=candidates
+    )
+    return dc_replace(plan, steps=steps)
+
+
+__all__ = [
+    "AUTOPIN_CANDIDATES",
+    "DEFAULT_BATCH_ROWS",
+    "KERNEL_MICRO_ENV_VAR",
+    "TimingCase",
+    "record_is_fresh",
+    "cases_from_record",
+    "load_recorded_cases",
+    "time_rowwise_kernel",
+    "calibrate",
+    "clear_calibration_cache",
+    "gemm_shape",
+    "resolve_backend",
+    "autopin_steps",
+    "autopin",
+]

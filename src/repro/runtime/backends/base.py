@@ -128,5 +128,33 @@ class Backend:
             out = act(out)
         return out
 
+    # ------------------------------------------------------------------ #
+    # resource lifecycle
+    # ------------------------------------------------------------------ #
+    # Backends that own pools (worker threads, worker processes, shared
+    # memory) override :meth:`shutdown`; it must be idempotent, and a
+    # backend must transparently restart its pool on the next kernel call
+    # after a shutdown.  The base implementations make every backend usable
+    # as a context manager so tests and short-lived tools release resources
+    # deterministically instead of at interpreter exit.
+
+    def shutdown(self) -> None:
+        """Release pools/segments owned by this backend (idempotent)."""
+
+    def __enter__(self) -> "Backend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def stage_plan_weights(self, plan) -> None:
+        """Pre-stage a compiled plan's frozen weight operands (hook).
+
+        Called by :meth:`repro.runtime.executor.PlanExecutor.stage_shared_weights`
+        once per plan so backends that keep weights in out-of-process storage
+        (shared-memory segments) pay the staging copy before the first
+        request instead of on it.  The default is a no-op.
+        """
+
     def __repr__(self) -> str:
         return f"<{type(self).__name__} name={self.name!r}>"

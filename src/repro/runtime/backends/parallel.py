@@ -39,6 +39,7 @@ simply ``fast`` with faster depthwise products.
 
 from __future__ import annotations
 
+import atexit
 import importlib.util
 import os
 import threading
@@ -141,6 +142,8 @@ class ParallelBackend(FastBackend):
         self.min_rows_per_tile = max(1, int(min_rows_per_tile))
         self._pool: Optional[ThreadPoolExecutor] = None
         self._pool_lock = threading.Lock()
+        self._pool_pid: Optional[int] = None
+        self._atexit_registered = False
 
     # ------------------------------------------------------------------ #
     # tiling machinery
@@ -167,26 +170,100 @@ class ParallelBackend(FastBackend):
         ]
 
     def _executor(self) -> ThreadPoolExecutor:
-        if self._pool is None:
-            with self._pool_lock:
-                if self._pool is None:
-                    self._pool = ThreadPoolExecutor(
-                        max_workers=self.num_workers,
-                        thread_name_prefix="repro-parallel",
-                    )
+        pool = self._pool
+        if pool is not None and self._pool_pid == os.getpid():
+            return pool
+        with self._pool_lock:
+            # A pool inherited through os.fork is dead weight: the worker
+            # threads did not survive into the child, so submitting to it
+            # would queue work forever.  Drop the handle (the parent still
+            # owns the real pool) and build a fresh one for this process.
+            if self._pool is not None and self._pool_pid != os.getpid():
+                self._pool = None
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.num_workers,
+                    thread_name_prefix="repro-parallel",
+                )
+                self._pool_pid = os.getpid()
+                if not self._atexit_registered:
+                    # Idempotent shutdown at interpreter exit; explicit
+                    # shutdown() / context-manager exit remains the
+                    # deterministic path for tests and short-lived tools.
+                    atexit.register(self.shutdown)
+                    self._atexit_registered = True
         return self._pool
+
+    @property
+    def pool_active(self) -> bool:
+        """True while a worker pool this process owns is live.
+
+        Shared contract with :class:`ShardBackend` — callers that start a
+        pool as a side effect (autopin calibration) consult it to release
+        pools no engine will ever close.
+        """
+        return self._pool is not None and self._pool_pid == os.getpid()
+
+    @property
+    def workers_active(self) -> bool:
+        """True when *any* worker resource (threads or processes) is live.
+
+        :attr:`pool_active` keeps backend-specific semantics (the shard
+        subclass reports its process pool there); this is the
+        union view calibration uses to decide what it started.
+        """
+        return self.pool_active
+
+    def stop_workers(self) -> None:
+        """Release worker resources without touching cached operands.
+
+        For the thread-pool backend this is simply :meth:`shutdown` (it
+        owns no shared segments); the shard subclass overrides both this
+        and :meth:`shutdown` to separate worker teardown from staged-weight
+        invalidation.
+        """
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        """Join and release the worker-thread pool (idempotent).
+
+        The backend stays usable: the next tiled kernel call lazily builds
+        a fresh pool.  A pool inherited through ``os.fork`` is discarded
+        without joining — its threads only exist in the parent.
+        """
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+            owner = self._pool_pid
+            self._pool_pid = None
+        if pool is not None and owner == os.getpid():
+            pool.shutdown(wait=True)
 
     def _run_tiles(
         self, work: Callable[[int, int], None], tiles: Sequence[Tuple[int, int]]
     ) -> None:
-        """Run ``work(r0, r1)`` over every tile; calling thread takes tile 0."""
+        """Run ``work(r0, r1)`` over every tile; calling thread takes tile 0.
+
+        A concurrent :meth:`shutdown` (another engine closing a shared
+        backend) may retire the pool between lookup and submit; tiles are
+        order-independent and exact, so the unsubmitted remainder simply
+        runs inline on the calling thread — same bits, one pool restart
+        later.
+        """
         if len(tiles) == 1 or self.num_workers == 1:
             for r0, r1 in tiles:
                 work(r0, r1)
             return
         pool = self._executor()
-        futures = [pool.submit(work, r0, r1) for r0, r1 in tiles[1:]]
+        futures = []
+        inline: List[Tuple[int, int]] = []
+        for r0, r1 in tiles[1:]:
+            try:
+                futures.append(pool.submit(work, r0, r1))
+            except RuntimeError:  # pool shut down mid-call
+                inline.append((r0, r1))
         work(*tiles[0])
+        for r0, r1 in inline:
+            work(r0, r1)
         for future in futures:
             future.result()  # propagate worker exceptions
 
@@ -358,11 +435,16 @@ class ParallelBackend(FastBackend):
                 work(index, r0, r1)
         else:
             pool = self._executor()
-            futures = [
-                pool.submit(work, index, r0, r1)
-                for index, (r0, r1) in enumerate(tiles[1:], start=1)
-            ]
+            futures = []
+            inline = []
+            for index, (r0, r1) in enumerate(tiles[1:], start=1):
+                try:
+                    futures.append(pool.submit(work, index, r0, r1))
+                except RuntimeError:  # pool shut down mid-call: run inline
+                    inline.append((index, r0, r1))
             work(0, *tiles[0])
+            for index, r0, r1 in inline:
+                work(index, r0, r1)
             for future in futures:
                 future.result()
         return partials.sum(axis=0)

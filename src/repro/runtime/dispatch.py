@@ -96,6 +96,20 @@ def use_backend(backend: BackendLike) -> Iterator[Backend]:
         stack.pop()
 
 
+def autopin(plan, batch_rows=None, cases=None):
+    """Resolve every GEMM step of ``plan`` to its measured backend winner.
+
+    Thin forwarding wrapper over :func:`repro.runtime.autopin.autopin`
+    (imported lazily — the autopin pass pulls in the plan layer, which the
+    dispatch module must not import eagerly).  Exposed here because
+    dispatch is where backend selection lives; ``pins="auto"`` on a config
+    or ``--pin auto`` on the CLI reach the same pass.
+    """
+    from repro.runtime.autopin import autopin as _autopin
+
+    return _autopin(plan, batch_rows=batch_rows, cases=cases)
+
+
 @contextmanager
 def pin_backend(backend: BackendLike) -> Iterator[Backend]:
     """Route kernels to ``backend`` as a *per-layer pin* for the block.
@@ -253,6 +267,7 @@ __all__ = [
     "active_backend",
     "use_backend",
     "pin_backend",
+    "autopin",
     "matmul",
     "fused_matmul_bias_act",
     "int8_gemm",

@@ -107,6 +107,11 @@ class PlanExecutor:
         self.plan = plan
         self.backend = backend
         self.static_eval = static_eval
+        # Snapshot the ambient default for lifecycle bookkeeping: an engine
+        # built under one default and closed under another must release the
+        # pools it actually used, not whatever the default is at close time
+        # (kernel execution still follows the live ambient selection).
+        self._default_backend_at_build = dispatch.default_backend_name()
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -118,18 +123,65 @@ class PlanExecutor:
         static_eval: bool = False,
         fuse: bool = True,
         pins: Optional[Dict[str, str]] = None,
+        auto_rows: Optional[int] = None,
     ) -> "PlanExecutor":
         """Compile ``units`` and wrap the plan in an executor.
 
-        ``fuse`` and ``pins`` forward to :func:`compile_plan` (fused
-        norm→gemm→activation steps, per-layer backend pinning).
+        ``fuse``, ``pins`` and ``auto_rows`` forward to
+        :func:`compile_plan` (fused norm→gemm→activation steps, per-layer
+        backend pinning — hand-written or ``pins="auto"`` measured).
         """
         return cls(
             compile_plan(units, flatten_input=flatten_input, fuse=fuse,
-                         pins=pins),
+                         pins=pins, auto_rows=auto_rows),
             backend,
             static_eval=static_eval,
         )
+
+    # ------------------------------------------------------------------ #
+    def step_backend_objs(self) -> List:
+        """Distinct backend instances this executor's plan can route to.
+
+        Resolves per-step pins (names) and the executor-level selection
+        (name, instance, or the ambient default) through the registry, so
+        an engine constructed with a backend *instance* reaches that exact
+        object — not the registry singleton of the same name.
+        """
+        raw = [
+            step.backend for step in self.plan.steps
+            if step.backend is not None
+        ]
+        raw.append(
+            self.backend if self.backend is not None
+            else self._default_backend_at_build
+        )
+        objs: List = []
+        seen = set()
+        for item in raw:
+            try:
+                backend = dispatch.get_backend(item)
+            except ValueError:  # pragma: no cover - unregistered pin
+                continue
+            if id(backend) not in seen:
+                seen.add(id(backend))
+                objs.append(backend)
+        return objs
+
+    def step_backends(self) -> List[str]:
+        """Distinct backend names this executor's plan can route to."""
+        return sorted(backend.name for backend in self.step_backend_objs())
+
+    def stage_shared_weights(self) -> None:
+        """Give every involved backend a chance to pre-stage plan weights.
+
+        Backends that keep weight operands in out-of-process storage (the
+        ``shard`` backend's shared-memory segments) override
+        :meth:`~repro.runtime.backends.base.Backend.stage_plan_weights`;
+        for all others this is a no-op.  Engines over frozen plans call it
+        once at construction so the first served request pays no staging.
+        """
+        for backend in self.step_backend_objs():
+            backend.stage_plan_weights(self.plan)
 
     def _prepare(self, inputs: np.ndarray) -> np.ndarray:
         if self.plan.flatten_input:

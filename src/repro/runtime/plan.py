@@ -249,6 +249,12 @@ def _lower_module(
 #: kinds (``norm``/``gemm``/``activation``) instead.
 _PINNABLE_KINDS = tuple(kind for kind in STEP_KINDS if kind != "fused")
 
+#: sentinel pin spec: resolve every layer's backend from measured timings
+#: (see :func:`repro.runtime.autopin.autopin`) instead of a hand-written
+#: mapping.  Accepted everywhere a pin mapping is (``FFConfig.pins``,
+#: ``ServeConfig.pins``, CLI ``--pin auto``).
+AUTO_PINS = "auto"
+
 
 def _valid_pin_key(key: str) -> bool:
     """True for ``"<kind>"``, ``"unit<N>"`` and ``"unit<N>.<kind>"`` specs."""
@@ -269,15 +275,19 @@ def _pin_candidates(step: KernelStep) -> Tuple[str, ...]:
     )
 
 
-def validate_pins(pins: Dict[str, str]) -> Dict[str, str]:
+def validate_pins(pins):
     """Eagerly validate pin spec keys and backend names.
 
     Raises on malformed keys and unregistered backends; whether a pin
     actually matches a step is only known at :func:`compile_plan` time.
-    Returns the mapping unchanged so configs can validate-and-store.
+    Returns the mapping unchanged so configs can validate-and-store.  The
+    :data:`AUTO_PINS` sentinel (``"auto"``) passes through — its resolution
+    is measured, not declared.
     """
     from repro.runtime.backends import get_backend
 
+    if pins == AUTO_PINS:
+        return pins
     for key, backend_name in pins.items():
         if not _valid_pin_key(key):
             raise ValueError(
@@ -401,16 +411,19 @@ def compile_plan(
     units: Sequence[Module],
     flatten_input: bool = False,
     fuse: bool = True,
-    pins: Optional[Dict[str, str]] = None,
+    pins=None,
+    auto_rows: Optional[int] = None,
 ) -> ExecutionPlan:
     """Compile an ordered FF unit stack into an :class:`ExecutionPlan`.
 
     Each unit's final step is tagged ``is_unit_output`` — those are the
     activities the goodness function taps and the per-unit boundaries the
     trainer updates at.  ``pins`` attaches per-step backend overrides (see
-    :func:`_apply_pins` for the spec syntax) and ``fuse`` (default on)
-    collapses norm→gemm→activation runs into fused steps; both passes
-    preserve the executed arithmetic exactly.
+    :func:`_apply_pins` for the spec syntax, or :data:`AUTO_PINS` to
+    resolve every layer from measured timings — ``auto_rows`` then names
+    the expected GEMM batch rows) and ``fuse`` (default on) collapses
+    norm→gemm→activation runs into fused steps; every pass preserves the
+    executed arithmetic exactly.
     """
     if not units:
         raise ValueError("cannot compile a plan over zero units")
@@ -424,10 +437,17 @@ def compile_plan(
             steps.append(KernelStep("identity", unit, unit_index))
         last = steps[-1]
         steps[-1] = KernelStep(last.kind, last.module, last.unit_index, True)
-    if pins:
+    if pins and pins != AUTO_PINS:
         steps = _apply_pins(steps, dict(pins))
     if fuse:
         steps = _fuse_steps(steps)
+    if pins == AUTO_PINS:
+        # Auto-pinning runs after fusion so a fused step is routed once, by
+        # the shape of its constituent GEMM (lazy import: autopin pulls the
+        # benchmark-record loader, which plan compilation never needs).
+        from repro.runtime.autopin import autopin_steps
+
+        steps = autopin_steps(steps, batch_rows=auto_rows)
     unit_step_counts = [0] * len(units)
     for step in steps:
         unit_step_counts[step.unit_index] += 1
@@ -441,6 +461,7 @@ def compile_plan(
 
 __all__ = [
     "STEP_KINDS",
+    "AUTO_PINS",
     "step_kind",
     "activation_applier",
     "validate_pins",

@@ -13,6 +13,12 @@ requests whose input digest matches one already in flight (they share the
 original future — the cache can only help *after* the first answer lands),
 and feeds the metrics collector, so it is the one object a deployment
 interacts with.
+
+Both halves of serve autoscaling read the same queue-depth EWMA signal:
+``autoscale_wait`` adapts the coalescing window per batch, and
+``autoscale_workers`` spawns/retires worker threads between
+``min_workers`` and ``max_workers`` when the pressure is sustained
+(cooldown-limited, so one burst cannot thrash the pool).
 """
 
 from __future__ import annotations
@@ -33,6 +39,7 @@ from repro.serve.metrics import ServeMetrics
 PredictFn = Callable[[np.ndarray], np.ndarray]
 
 _SHUTDOWN = object()
+_RETIRE = object()
 
 
 class _Request:
@@ -82,8 +89,23 @@ class MicroBatcher:
                     "predict callable cannot honour per-layer pins"
                 )
             # Recompiling here (idempotent) guarantees the config's pins are
-            # in force even when the engine was built without them.
-            apply_pins(pins)
+            # in force even when the engine was built without them.  Auto
+            # pins measure at this deployment's coalesced batch height —
+            # when the engine's apply_pins accepts it (signature-checked:
+            # a TypeError from inside pin application must propagate, not
+            # silently retry at the wrong height).
+            import inspect
+
+            try:
+                takes_batch = "batch_size" in inspect.signature(
+                    apply_pins
+                ).parameters
+            except (TypeError, ValueError):  # builtins, exotic callables
+                takes_batch = False
+            if takes_batch:
+                apply_pins(pins, batch_size=self.config.max_batch_size)
+            else:
+                apply_pins(pins)
         predict = getattr(engine, "predict", None)
         self._predict: PredictFn = predict if callable(predict) else engine
         if not callable(self._predict):
@@ -106,26 +128,36 @@ class MicroBatcher:
         # Adaptive coalescing window (autoscale_wait); plain float writes
         # are atomic, so workers update it lock-free.
         self._current_wait_s = self.config.max_wait_s
+        # Worker autoscaling (autoscale_workers): sequence number for
+        # thread names, last scale-op timestamp for the cooldown, and a
+        # running log of scale events for reporting.
+        self._worker_seq = 0
+        self._last_scale_at = 0.0
+        self._scale_ups = 0
+        self._scale_downs = 0
 
     # ------------------------------------------------------------------ #
     # lifecycle
     # ------------------------------------------------------------------ #
+    def _spawn_worker_locked(self) -> None:
+        """Create and start one worker thread (lifecycle lock held)."""
+        thread = threading.Thread(
+            target=self._worker_loop,
+            name=f"serve-worker-{self._worker_seq}",
+            daemon=True,
+        )
+        self._worker_seq += 1
+        self._threads.append(thread)
+        thread.start()
+
     def start(self) -> "MicroBatcher":
         """Spawn the worker threads (idempotent)."""
         with self._lifecycle_lock:
             if self._running:
                 return self
             self._running = True
-            self._threads = [
-                threading.Thread(
-                    target=self._worker_loop,
-                    name=f"serve-worker-{index}",
-                    daemon=True,
-                )
-                for index in range(self.config.num_workers)
-            ]
-            for thread in self._threads:
-                thread.start()
+            for _ in range(self.config.num_workers):
+                self._spawn_worker_locked()
         return self
 
     def stop(self) -> None:
@@ -139,6 +171,19 @@ class MicroBatcher:
             self._queue.put(_SHUTDOWN)
         for thread in threads:
             thread.join()
+        # Swallow leftover lifecycle tokens (a retire enqueued just before
+        # stop, or a shutdown token a retiring worker never consumed) so a
+        # later start() begins with a clean queue.
+        drained = []
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not _SHUTDOWN and item is not _RETIRE:
+                drained.append(item)
+        for item in drained:
+            self._queue.put(item)
 
     def __enter__(self) -> "MicroBatcher":
         return self.start()
@@ -197,31 +242,123 @@ class MicroBatcher:
         """The coalescing window workers currently apply (milliseconds)."""
         return 1000.0 * self._current_wait_s
 
+    @property
+    def current_num_workers(self) -> int:
+        """How many serve workers are live right now."""
+        with self._lifecycle_lock:
+            return len(self._threads)
+
+    @property
+    def autoscale_events(self) -> dict:
+        """Worker scale operations performed so far (``up``/``down``)."""
+        return {"up": self._scale_ups, "down": self._scale_downs}
+
     def format_report(self, title: str = "serving metrics") -> str:
-        """Metrics report including the cache hit-rate and adaptive window."""
-        extra_rows = None
+        """Metrics report including the cache hit-rate and autoscale state."""
+        extra_rows = []
         if getattr(self.config, "autoscale_wait", False):
-            extra_rows = [["adaptive max_wait (ms)", self.current_wait_ms]]
+            extra_rows.append(["adaptive max_wait (ms)", self.current_wait_ms])
+        if getattr(self.config, "autoscale_workers", False):
+            extra_rows.append(["workers (current)", self.current_num_workers])
+            extra_rows.append(["worker scale-ups", self._scale_ups])
+            extra_rows.append(["worker scale-downs", self._scale_downs])
         return self.metrics.format_report(
-            title, cache_stats=self.cache.stats(), extra_rows=extra_rows
+            title, cache_stats=self.cache.stats(),
+            extra_rows=extra_rows or None,
         )
 
     # ------------------------------------------------------------------ #
     # worker internals
     # ------------------------------------------------------------------ #
     def _worker_loop(self) -> None:
-        # Workers exit only by consuming a shutdown token.  An early-exit on
-        # the idle-poll path would leave its token in the queue, where it
-        # would instantly kill a worker of a later start().
+        # Workers exit only by consuming a shutdown or retire token.  An
+        # early-exit on the idle-poll path would leave its token in the
+        # queue, where it would instantly kill a worker of a later start().
         while True:
             try:
                 first = self._queue.get(timeout=self.config.poll_timeout_s)
             except queue.Empty:
+                # Idle polls decay the queue-depth EWMA toward the live
+                # depth (no enqueues means nothing else updates it) and
+                # then evaluate autoscaling, so a pool scaled up for a
+                # burst drains back to min_workers afterwards.
+                if getattr(self.config, "autoscale_workers", False):
+                    self.metrics.observe_queue_depth(self._queue.qsize())
+                self._maybe_autoscale()
                 continue
             if first is _SHUTDOWN:
                 return
+            if first is _RETIRE:
+                if self._retire_self():
+                    return
+                continue
             batch = self._gather_batch(first)
             self._serve_batch(batch)
+            self._maybe_autoscale()
+
+    def _retire_self(self) -> bool:
+        """Consume a retire token; True when this worker should exit.
+
+        Stale tokens (left over from before a stop/start cycle, or racing a
+        concurrent retire that already brought the count to the floor) are
+        swallowed instead of underflowing ``min_workers``.
+        """
+        with self._lifecycle_lock:
+            if (
+                self._running
+                and len(self._threads) > self.config.min_workers
+            ):
+                current = threading.current_thread()
+                if current in self._threads:
+                    self._threads.remove(current)
+                    # Counted here, at consumption: tokens swallowed at the
+                    # floor must not show up as scale-downs in the report.
+                    self._scale_downs += 1
+                    return True
+        return False
+
+    def _maybe_autoscale(self) -> None:
+        """Spawn or retire one worker when queue pressure is sustained.
+
+        The queue-depth EWMA is the same signal the adaptive coalescing
+        window uses: above ``max_batch_size`` a full batch is always
+        waiting, so one more worker drains real backlog; below a quarter
+        of it the extra worker only adds contention.  The cooldown keeps
+        reactions to *sustained* pressure — one burst cannot thrash the
+        pool.
+        """
+        config = self.config
+        if not getattr(config, "autoscale_workers", False):
+            return
+        ewma = self.metrics.queue_depth_ewma()
+        with self._lifecycle_lock:
+            # Cooldown, decision and the event log all live under the one
+            # lock: two workers crossing the threshold together must not
+            # both stamp a scale event for a single pool change.
+            now = time.perf_counter()
+            if now - self._last_scale_at < config.autoscale_cooldown_s:
+                return
+            if not self._running:
+                return
+            count = len(self._threads)
+            if (
+                ewma > config.max_batch_size
+                and count < config.max_workers
+                # Live-queue gate: sustained *history* alone must not grow
+                # an idle pool — there has to be backlog right now for a
+                # new worker to drain.
+                and self._queue.qsize() > 0
+            ):
+                self._spawn_worker_locked()
+                self._scale_ups += 1
+                self._last_scale_at = now
+                return
+            if (
+                ewma < 0.25 * config.max_batch_size
+                and count > config.min_workers
+            ):
+                self._last_scale_at = now
+                self._queue.put(_RETIRE)
 
     def _wait_window_s(self) -> float:
         """The coalescing window for the next batch (adaptive when enabled).
@@ -254,10 +391,10 @@ class MicroBatcher:
                     item = self._queue.get(timeout=remaining)
             except queue.Empty:
                 break
-            if item is _SHUTDOWN:
-                # Keep the shutdown token available for another worker and
-                # serve what we already gathered.
-                self._queue.put(_SHUTDOWN)
+            if item is _SHUTDOWN or item is _RETIRE:
+                # Keep the lifecycle token available for another worker (or
+                # this one's next loop turn) and serve what we gathered.
+                self._queue.put(item)
                 break
             batch.append(item)
             if remaining <= 0:

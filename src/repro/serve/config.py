@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Any, Dict, Optional
 
 from repro.runtime.backends import Backend, get_backend
-from repro.runtime.plan import validate_pins
+from repro.runtime.plan import AUTO_PINS, validate_pins
 
 
 class ServeConfig:
@@ -46,15 +46,26 @@ class ServeConfig:
     pins:
         Optional per-layer backend pins (``{"gemm": "parallel", "unit0":
         "fast"}`` — see :func:`repro.runtime.plan.validate_pins` for the
-        spec syntax).  The micro-batcher applies them to its engine via
-        ``engine.apply_pins`` at construction, so they take effect even on
-        an engine built without pins; engines that cannot honour pins (bare
-        predict callables) are rejected.
+        spec syntax), or the string ``"auto"`` to resolve every layer to
+        its measured winner (see :mod:`repro.runtime.autopin`).  The
+        micro-batcher applies them to its engine via ``engine.apply_pins``
+        at construction, so they take effect even on an engine built
+        without pins; engines that cannot honour pins (bare predict
+        callables) are rejected.
     autoscale_wait / min_wait_ms:
         When ``autoscale_wait`` is true the micro-batcher adapts its
         coalescing window to the queue-depth EWMA, between ``min_wait_ms``
         and ``max_wait_ms``: a deep backlog fills batches by itself (waiting
         only adds latency), an idle queue earns the full window.
+    autoscale_workers / min_workers / max_workers / autoscale_cooldown_ms:
+        When ``autoscale_workers`` is true the micro-batcher spawns and
+        retires serve workers on sustained queue-depth EWMA pressure: an
+        EWMA above ``max_batch_size`` (a full batch always waiting) adds a
+        worker up to ``max_workers``; an EWMA below a quarter of
+        ``max_batch_size`` retires one down to ``min_workers``.
+        ``num_workers`` stays the starting count, and scale operations are
+        at least ``autoscale_cooldown_ms`` apart so the EWMA signal is
+        sustained pressure, not one burst.
     """
 
     config_type = "serve"
@@ -69,9 +80,13 @@ class ServeConfig:
         poll_timeout_ms: float = 20.0,
         request_timeout_s: float = 30.0,
         backend: Any = None,
-        pins: Optional[Dict[str, str]] = None,
+        pins: Any = None,
         autoscale_wait: bool = False,
         min_wait_ms: float = 0.0,
+        autoscale_workers: bool = False,
+        min_workers: Optional[int] = None,
+        max_workers: Optional[int] = None,
+        autoscale_cooldown_ms: float = 250.0,
         **kwargs: Any,
     ) -> None:
         if max_batch_size < 1:
@@ -102,14 +117,39 @@ class ServeConfig:
         if backend is not None and not isinstance(backend, Backend):
             get_backend(backend)  # fail at construction, not in a worker
         self.backend = backend
-        self.pins = dict(validate_pins(pins)) if pins else None
+        if pins == AUTO_PINS:
+            self.pins: Any = AUTO_PINS
+        else:
+            self.pins = dict(validate_pins(pins)) if pins else None
         self.autoscale_wait = bool(autoscale_wait)
         self.min_wait_ms = float(min_wait_ms)
+
+        self.autoscale_workers = bool(autoscale_workers)
+        self.min_workers = (
+            1 if min_workers is None else int(min_workers)
+        )
+        self.max_workers = (
+            max(4, self.num_workers) if max_workers is None else int(max_workers)
+        )
+        if autoscale_cooldown_ms < 0:
+            raise ValueError(
+                f"autoscale_cooldown_ms must be >= 0, got {autoscale_cooldown_ms}"
+            )
+        self.autoscale_cooldown_ms = float(autoscale_cooldown_ms)
+        if self.autoscale_workers and not (
+            1 <= self.min_workers <= self.num_workers <= self.max_workers
+        ):
+            raise ValueError(
+                "autoscale_workers requires 1 <= min_workers <= num_workers "
+                f"<= max_workers, got min={self.min_workers} "
+                f"start={self.num_workers} max={self.max_workers}"
+            )
 
         # Derived fields used by the hot path (seconds, not milliseconds).
         self.max_wait_s = self.max_wait_ms / 1000.0
         self.min_wait_s = self.min_wait_ms / 1000.0
         self.poll_timeout_s = self.poll_timeout_ms / 1000.0
+        self.autoscale_cooldown_s = self.autoscale_cooldown_ms / 1000.0
 
         # Deployment-specific extras ride along untouched.
         for key, value in kwargs.items():
@@ -131,6 +171,10 @@ class ServeConfig:
             "pins": self.pins,
             "autoscale_wait": self.autoscale_wait,
             "min_wait_ms": self.min_wait_ms,
+            "autoscale_workers": self.autoscale_workers,
+            "min_workers": self.min_workers,
+            "max_workers": self.max_workers,
+            "autoscale_cooldown_ms": self.autoscale_cooldown_ms,
         }
         for key in self._extra_keys:
             payload[key] = getattr(self, key)

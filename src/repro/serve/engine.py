@@ -108,7 +108,17 @@ class FrozenInt8Kernel:
         # pays the 4x memory).
         self._weight_qT_f32: Optional[np.ndarray] = None
 
-    def _rhs_f32_for(self, backend) -> Optional[np.ndarray]:
+    def rhs_f32_for(self, backend) -> Optional[np.ndarray]:
+        """The stable float32 GEMM operand this kernel feeds ``backend``.
+
+        Public staging hook: backends that keep weights in out-of-process
+        storage (:meth:`ShardBackend.stage_plan_weights
+        <repro.runtime.backends.shard.ShardBackend.stage_plan_weights>`)
+        fingerprint this exact array, so it must be the same object the
+        hot path later passes as ``rhs_f32`` — which it is: both routes
+        share this method.  Returns ``None`` when the backend never reads
+        a float32 copy or the reduction is not exact in float32.
+        """
         if not (self._exact_f32 and backend.wants_f32_rhs):
             return None
         if self._weight_qT_f32 is None:
@@ -116,6 +126,9 @@ class FrozenInt8Kernel:
             # the attribute store is atomic, so the duplicate work is benign.
             self._weight_qT_f32 = self.weight_qT.astype(np.float32)
         return self._weight_qT_f32
+
+    # Backwards-compatible alias (pre-1.4 name).
+    _rhs_f32_for = rhs_f32_for
 
     # ------------------------------------------------------------------ #
     def _rescale(self, acc: np.ndarray, row_scales: np.ndarray) -> np.ndarray:
@@ -134,7 +147,7 @@ class FrozenInt8Kernel:
             x,
             self.weight_qT,
             qmax=self.qmax,
-            rhs_f32=self._rhs_f32_for(backend),
+            rhs_f32=self.rhs_f32_for(backend),
             exact_f32=self._exact_f32,
             counts=self.counts,
             backend=backend,
@@ -278,11 +291,16 @@ class Int8InferenceEngine:
         # Units are permanently eval from here on; static_eval spares the
         # per-batch mode save/restore walk on the serving hot path.  The
         # compiled plan fuses norm→gemm→activation runs and honours the
-        # per-layer backend pins.
+        # per-layer backend pins (``pins="auto"`` resolves them from
+        # measured timings at the folded-label batch height).
         self.executor = PlanExecutor.for_units(
             self.units, flatten_input=flatten_input, backend=backend,
             static_eval=True, pins=pins,
+            auto_rows=self._auto_rows(),
         )
+        # Backends with out-of-process weight storage (shard) stage the
+        # frozen weights once now, not on the first served request.
+        self.executor.stage_shared_weights()
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -327,18 +345,51 @@ class Int8InferenceEngine:
         )
 
     # ------------------------------------------------------------------ #
-    def apply_pins(self, pins: Optional[dict]) -> "Int8InferenceEngine":
+    def _auto_rows(self, batch_size: Optional[int] = None) -> int:
+        """Expected GEMM rows for auto-pinning: folded labels x batch."""
+        return self.overlay.num_classes * int(batch_size or 32)
+
+    def apply_pins(
+        self, pins, batch_size: Optional[int] = None
+    ) -> "Int8InferenceEngine":
         """Recompile the execution plan with per-layer backend pins.
 
         Replaces any pins the plan was compiled with; the micro-batcher
         calls this so ``ServeConfig.pins`` reaches an engine that was built
-        without them.  Returns ``self`` for chaining.
+        without them.  ``pins`` may be a spec mapping or ``"auto"``
+        (measured resolution at ``batch_size`` coalesced requests — the
+        engine folds all label overlays into the batch dimension, so the
+        GEMM height is ``num_classes * batch_size``).  Returns ``self``
+        for chaining.
         """
         self.executor = PlanExecutor.for_units(
             self.units, flatten_input=self.flatten_input,
             backend=self.executor.backend, static_eval=True, pins=pins,
+            auto_rows=self._auto_rows(batch_size),
         )
+        self.executor.stage_shared_weights()
         return self
+
+    def close(self) -> None:
+        """Release kernel-backend pools this engine's plan routes to.
+
+        The engine owns the serving pool lifecycle: closing it shuts down
+        the worker pools (thread or process) of every backend its plan is
+        pinned or configured to use.  Backends restart their pools lazily,
+        so closing a shared backend is safe for other engines — they pay
+        one pool restart, never a wrong answer.  Idempotent.
+        """
+        executor = getattr(self, "executor", None)
+        if executor is None:
+            return
+        for backend in executor.step_backend_objs():
+            backend.shutdown()
+
+    def __enter__(self) -> "Int8InferenceEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     @property
     def num_classes(self) -> int:

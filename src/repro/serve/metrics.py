@@ -59,16 +59,32 @@ class ServeMetrics:
     # ------------------------------------------------------------------ #
     # recording
     # ------------------------------------------------------------------ #
+    def _fold_queue_depth_locked(self, queue_depth: int) -> None:
+        """The one EWMA update both depth signals share (lock held)."""
+        alpha = self._ewma_alpha
+        self._queue_depth_ewma = (
+            (1.0 - alpha) * self._queue_depth_ewma + alpha * queue_depth
+        )
+
     def record_enqueue(self, queue_depth: int) -> None:
         """Note a request entering the queue (samples the queue depth)."""
         with self._lock:
             if self._first_ts is None:
                 self._first_ts = self._clock()
             self._queue_depths.append(int(queue_depth))
-            alpha = self._ewma_alpha
-            self._queue_depth_ewma = (
-                (1.0 - alpha) * self._queue_depth_ewma + alpha * queue_depth
-            )
+            self._fold_queue_depth_locked(queue_depth)
+
+    def observe_queue_depth(self, queue_depth: int) -> None:
+        """Fold a passive queue-depth observation into the EWMA.
+
+        Enqueues sample the depth on their own; idle pollers call this so
+        the EWMA decays toward the *live* depth when no requests arrive —
+        otherwise the signal would freeze at its last burst value and
+        autoscaling could never drain (or worse, keep scaling up) an idle
+        pool.  Unlike :meth:`record_enqueue` this records no sample row.
+        """
+        with self._lock:
+            self._fold_queue_depth_locked(queue_depth)
 
     def queue_depth_ewma(self) -> float:
         """Current exponentially-weighted moving average of the queue depth."""

@@ -15,6 +15,19 @@ from typing import Any, Dict, Optional
 import numpy as np
 
 
+def _cpu_model() -> str:
+    """Best-effort CPU model string (the arch alone cannot tell two x86_64
+    hosts apart, but wall-clock crossovers differ between them)."""
+    try:
+        with open("/proc/cpuinfo", "r", encoding="utf-8") as handle:
+            for line in handle:
+                if line.lower().startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return platform.processor() or "unknown"
+
+
 def _blas_info() -> Dict[str, Any]:
     """Best-effort description of the BLAS NumPy links against."""
     try:
@@ -54,6 +67,7 @@ def machine_meta(backend: Optional[object] = None) -> Dict[str, Any]:
         backend_name = getattr(backend, "name", backend)
     return {
         "cpu_count": os.cpu_count(),
+        "cpu_model": _cpu_model(),
         "platform": platform.platform(),
         "machine": platform.machine(),
         "python": platform.python_version(),
@@ -61,7 +75,36 @@ def machine_meta(backend: Optional[object] = None) -> Dict[str, Any]:
         "blas": _blas_info(),
         "backend": str(backend_name),
         "parallel_workers_env": os.environ.get("REPRO_PARALLEL_WORKERS"),
+        "shard_workers_env": os.environ.get("REPRO_SHARD_WORKERS"),
     }
 
 
-__all__ = ["machine_meta"]
+#: meta fields that identify the machine + numeric stack a wall-clock
+#: number was measured on (plus the BLAS build, compared separately).
+#: Worker-count overrides belong here too: a record measured with a
+#: constrained pool does not speak for the same machine at full width.
+SAME_MACHINE_KEYS = (
+    "cpu_count", "cpu_model", "machine", "numpy",
+    "parallel_workers_env", "shard_workers_env",
+)
+
+
+def same_machine(meta_a: Optional[Dict[str, Any]],
+                 meta_b: Optional[Dict[str, Any]]) -> bool:
+    """True when two ``meta`` blocks describe one machine + numeric stack.
+
+    This is the single definition of "are these wall-clock numbers
+    comparable / do they speak for this CPU": benchmark baseline diffing
+    and auto-pinning staleness both route through it, so the rule cannot
+    drift between them.
+    """
+    meta_a, meta_b = meta_a or {}, meta_b or {}
+    for key in SAME_MACHINE_KEYS:
+        if meta_a.get(key) != meta_b.get(key):
+            return False
+    blas_a = (meta_a.get("blas") or {}).get("name")
+    blas_b = (meta_b.get("blas") or {}).get("name")
+    return blas_a == blas_b
+
+
+__all__ = ["machine_meta", "same_machine", "SAME_MACHINE_KEYS"]

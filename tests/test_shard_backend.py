@@ -1,0 +1,481 @@
+"""Tests for the ``shard`` multiprocess backend and pool lifecycles.
+
+Bit-identity is asserted against ``reference`` on finite inputs and against
+``fast`` (the exact-float32 sibling whose arithmetic shard replicates per
+shard) on non-finite ones; shapes are chosen adversarially (degenerate
+rows/columns, rows far above the shard size, inputs that straddle the
+delegation threshold).  The machine running the suite may have a single
+core — every sharding test therefore forces a multi-worker pool explicitly
+instead of relying on ``os.cpu_count``.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.runtime import available_backends, get_backend
+from repro.runtime.backends import ShardBackend
+from repro.runtime.backends.parallel import ParallelBackend
+from repro.runtime.executor import PlanExecutor
+
+
+@pytest.fixture
+def shard():
+    """A forced 2-worker shard backend with no delegation threshold."""
+    backend = ShardBackend(num_workers=2, min_rows=1, min_rows_per_shard=1)
+    yield backend
+    backend.shutdown()
+
+
+def _int8(rng, shape):
+    return rng.integers(-128, 128, size=shape).astype(np.int8)
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, not ours
+        return True
+    return True
+
+
+def _sweep_segments_of(pid: int) -> None:
+    """Unlink shard segments a (possibly hard-killed) process left behind.
+
+    Segment names embed the creating pid, so after a fork-test child exits
+    the parent can deterministically reclaim whatever the child could not
+    unlink itself — keeping /dev/shm clean however the child died.
+    """
+    import pathlib
+    from multiprocessing import shared_memory
+
+    shm_dir = pathlib.Path("/dev/shm")
+    if not shm_dir.is_dir():  # pragma: no cover - non-Linux
+        return
+    for path in shm_dir.glob(f"repro-shard-{pid}-*"):
+        try:
+            segment = shared_memory.SharedMemory(name=path.name)
+            segment.close()
+            segment.unlink()
+        except FileNotFoundError:
+            pass
+
+
+class TestShardParity:
+    @pytest.mark.parametrize("shape", [
+        (1, 17, 5),      # single row
+        (33, 1, 7),      # K = 1
+        (9, 24, 1),      # single output column
+        (2, 3, 2),       # everything tiny
+        (301, 196, 64),  # serve-like, rows indivisible by the shard count
+        (1024, 64, 16),  # rows far above the per-shard block size
+    ])
+    def test_int8_gemm_matches_reference(self, shard, shape):
+        rng = np.random.default_rng(hash(shape) % (2 ** 32))
+        lhs, rhs = _int8(rng, shape[:2]), _int8(rng, shape[1:])
+        got = np.asarray(shard.int8_gemm(lhs, rhs), dtype=np.float64)
+        want = np.asarray(
+            get_backend("reference").int8_gemm(lhs, rhs), dtype=np.float64
+        )
+        np.testing.assert_array_equal(got, want)
+
+    @pytest.mark.parametrize("shape", [
+        (1, 17, 5), (33, 1, 7), (9, 24, 1), (301, 196, 64), (1024, 64, 16),
+    ])
+    def test_rowwise_matches_reference(self, shard, shape):
+        rng = np.random.default_rng(hash(shape) % (2 ** 32))
+        x = rng.normal(size=shape[:2]).astype(np.float32)
+        rhs = _int8(rng, shape[1:])
+        acc, scales = shard.rowwise_quantized_gemm(x, rhs, 127)
+        acc_ref, scales_ref = get_backend("reference").rowwise_quantized_gemm(
+            x, rhs, 127
+        )
+        np.testing.assert_array_equal(
+            np.asarray(acc, dtype=np.float64),
+            np.asarray(acc_ref, dtype=np.float64),
+        )
+        np.testing.assert_array_equal(scales, scales_ref)
+
+    def test_nonfinite_rows_match_fast(self, shard):
+        # NaN/inf rows quantize to NaN levels on every exact-f32 backend;
+        # the contract is shard == fast bit-for-bit, shard boundaries or
+        # not (reference materializes int8 and differs by design here).
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=(96, 24)).astype(np.float32)
+        x[3, :] = np.nan
+        x[50, 5] = np.inf
+        x[70, 0] = -np.inf
+        rhs = _int8(rng, (24, 9))
+        acc, scales = shard.rowwise_quantized_gemm(x, rhs, 127)
+        acc_fast, scales_fast = get_backend("fast").rowwise_quantized_gemm(
+            x, rhs, 127
+        )
+        np.testing.assert_array_equal(acc, acc_fast)
+        np.testing.assert_array_equal(scales, scales_fast)
+
+    def test_wide_reduction_delegates_exactly(self, shard):
+        # K wide enough to leave the exact-f32 window: shard must fall back
+        # to the integer path (via parallel/fast), not shard inexactly.
+        rng = np.random.default_rng(11)
+        lhs, rhs = _int8(rng, (64, 1100)), _int8(rng, (1100, 8))
+        got = np.asarray(shard.int8_gemm(lhs, rhs), dtype=np.int64)
+        want = np.asarray(
+            get_backend("reference").int8_gemm(lhs, rhs), dtype=np.int64
+        )
+        np.testing.assert_array_equal(got, want)
+
+    def test_property_style_random_shapes(self, shard):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            rows = int(rng.integers(1, 400))
+            inner = int(rng.integers(1, 300))
+            cols = int(rng.integers(1, 40))
+            x = rng.normal(size=(rows, inner)).astype(np.float32)
+            rhs = _int8(rng, (inner, cols))
+            acc, scales = shard.rowwise_quantized_gemm(x, rhs, 127)
+            acc_ref, scales_ref = get_backend(
+                "reference"
+            ).rowwise_quantized_gemm(x, rhs, 127)
+            np.testing.assert_array_equal(
+                np.asarray(acc, dtype=np.float64),
+                np.asarray(acc_ref, dtype=np.float64),
+            )
+            np.testing.assert_array_equal(scales, scales_ref)
+
+
+class TestThresholdDelegation:
+    def test_small_inputs_never_spawn_the_pool(self):
+        backend = ShardBackend(num_workers=4, min_rows=10 ** 6)
+        try:
+            rng = np.random.default_rng(0)
+            backend.int8_gemm(_int8(rng, (128, 32)), _int8(rng, (32, 8)))
+            backend.rowwise_quantized_gemm(
+                rng.normal(size=(128, 32)).astype(np.float32),
+                _int8(rng, (32, 8)), 127,
+            )
+            assert not backend.pool_active
+        finally:
+            backend.shutdown()
+
+    def test_single_worker_never_spawns_the_pool(self):
+        backend = ShardBackend(num_workers=1, min_rows=1)
+        try:
+            rng = np.random.default_rng(0)
+            backend.int8_gemm(_int8(rng, (512, 32)), _int8(rng, (32, 8)))
+            assert not backend.pool_active
+        finally:
+            backend.shutdown()
+
+    def test_above_threshold_spawns_the_pool(self, shard):
+        rng = np.random.default_rng(0)
+        shard.int8_gemm(_int8(rng, (64, 16)), _int8(rng, (16, 4)))
+        assert shard.pool_active
+
+    def test_calibrate_min_rows_sets_threshold(self):
+        backend = ShardBackend(num_workers=2)
+        try:
+            value = backend.calibrate_min_rows(
+                reduce_dim=32, cols=8, candidates=(32, 64), repeats=1
+            )
+            assert value == backend.min_rows
+            assert value >= 32
+        finally:
+            backend.shutdown()
+
+    def test_single_worker_calibration_disables_sharding(self):
+        backend = ShardBackend(num_workers=1)
+        try:
+            value = backend.calibrate_min_rows(candidates=(32, 64))
+            assert value > 64
+        finally:
+            backend.shutdown()
+
+
+class TestWeightStaging:
+    def test_repeated_calls_reuse_one_staged_segment(self, shard):
+        rng = np.random.default_rng(0)
+        lhs = _int8(rng, (96, 16))
+        rhs = _int8(rng, (16, 4))
+        shard.int8_gemm(lhs, rhs)
+        staged_once = len(shard._staged)
+        for _ in range(3):
+            shard.int8_gemm(lhs, rhs)
+        assert len(shard._staged) == staged_once
+
+    def test_distinct_objects_same_content_share_a_segment(self, shard):
+        rng = np.random.default_rng(0)
+        lhs = _int8(rng, (96, 16))
+        rhs = _int8(rng, (16, 4))
+        shard.int8_gemm(lhs, rhs)
+        shard.int8_gemm(lhs, rhs.copy())  # same bytes, new object
+        assert len(shard._staged) == 1
+
+    def test_stage_plan_weights_prestages_frozen_gemms(self):
+        # Staging targets *frozen* serving kernels (stable weight_qT
+        # operands); training-side engines re-derive weights per step and
+        # are fingerprinted lazily instead.
+        from repro.models import build_mlp
+        from repro.nn.linear import Linear
+        from repro.serve.engine import FrozenInt8Kernel
+
+        backend = ShardBackend(num_workers=2, min_rows=1, min_rows_per_shard=1)
+        try:
+            bundle = build_mlp(input_shape=(1, 8, 8), hidden_layers=2,
+                               hidden_units=16, seed=0)
+            units = bundle.ff_units()
+            rng = np.random.default_rng(0)
+            frozen = 0
+            for unit in units:
+                unit.eval()
+                unit.set_activation_caching(False)
+                for module in unit.modules():
+                    if isinstance(module, Linear):
+                        matrix = _int8(
+                            rng, (module.weight.data.shape[0],
+                                  module.weight.data.reshape(
+                                      module.weight.data.shape[0], -1
+                                  ).shape[1])
+                        )
+                        module.quant_engine = FrozenInt8Kernel(
+                            matrix, np.ones(matrix.shape[0])
+                        )
+                        frozen += 1
+            assert frozen > 0
+            executor = PlanExecutor.for_units(
+                units, flatten_input=True, backend=backend
+            )
+            assert len(backend._staged) == 0
+            executor.stage_shared_weights()
+            assert len(backend._staged) == frozen
+        finally:
+            backend.shutdown()
+
+
+class TestPoolLifecycle:
+    def test_shutdown_is_idempotent_and_restartable(self, shard):
+        rng = np.random.default_rng(0)
+        lhs, rhs = _int8(rng, (64, 16)), _int8(rng, (16, 4))
+        first = np.asarray(shard.int8_gemm(lhs, rhs))
+        shard.shutdown()
+        shard.shutdown()
+        assert not shard.pool_active
+        again = np.asarray(shard.int8_gemm(lhs, rhs))
+        np.testing.assert_array_equal(first, again)
+        assert shard.pool_active
+
+    def test_context_manager_shuts_down(self):
+        rng = np.random.default_rng(0)
+        with ShardBackend(num_workers=2, min_rows=1,
+                          min_rows_per_shard=1) as backend:
+            backend.int8_gemm(_int8(rng, (64, 16)), _int8(rng, (16, 4)))
+            assert backend.pool_active
+        assert not backend.pool_active
+
+    def test_shutdown_unlinks_shared_segments(self, shard):
+        from multiprocessing import shared_memory
+
+        rng = np.random.default_rng(0)
+        shard.int8_gemm(_int8(rng, (64, 16)), _int8(rng, (16, 4)))
+        names = [staged.name for staged in shard._staged.values()]
+        names.extend(
+            ring.name for ring in shard._rings.values() if ring.shm is not None
+        )
+        assert names
+        shard.shutdown()
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_foreign_pid_state_is_discarded(self, shard):
+        rng = np.random.default_rng(0)
+        lhs, rhs = _int8(rng, (64, 16)), _int8(rng, (16, 4))
+        want = np.asarray(shard.int8_gemm(lhs, rhs))
+        # Simulate waking up in a forked child: the recorded owner pid no
+        # longer matches, so the backend must rebuild instead of writing
+        # into the parent's pipes.
+        shard._owner_pid = shard._owner_pid - 1
+        got = np.asarray(shard.int8_gemm(lhs, rhs))
+        np.testing.assert_array_equal(got, want)
+        assert shard.pool_active
+
+    @pytest.mark.skipif(not hasattr(os, "fork"), reason="fork-only test")
+    def test_real_fork_child_computes_correctly(self, shard):
+        rng = np.random.default_rng(0)
+        lhs, rhs = _int8(rng, (64, 16)), _int8(rng, (16, 4))
+        want = np.asarray(shard.int8_gemm(lhs, rhs))
+        pid = os.fork()
+        if pid == 0:  # child
+            status = 1
+            try:
+                signal.alarm(30)  # a regression must not hang the suite
+                got = np.asarray(shard.int8_gemm(lhs, rhs))
+                if np.array_equal(got, want):
+                    status = 0
+                shard.shutdown()  # release the child's own pool
+            except BaseException:
+                pass
+            finally:
+                os._exit(status)
+        _, exit_status = os.waitpid(pid, 0)
+        _sweep_segments_of(pid)
+        assert os.waitstatus_to_exitcode(exit_status) == 0
+        # The parent pool must still be intact after the child's detour.
+        np.testing.assert_array_equal(np.asarray(shard.int8_gemm(lhs, rhs)),
+                                      want)
+
+    def test_workers_exit_when_owner_dies_hard(self):
+        # An owner that dies without any cleanup (os._exit, SIGKILL) must
+        # not leave orphan workers idling on their pipes — the worker's
+        # recv has to see EOF.  Regression test for the fd-inheritance leak
+        # where a fork-started worker kept its own pipe's write end alive.
+        import subprocess
+        import sys
+        import time
+
+        child_src = (
+            "import numpy as np, os, sys\n"
+            "from repro.runtime.backends.shard import ShardBackend\n"
+            "b = ShardBackend(num_workers=3, min_rows=1, min_rows_per_shard=1)\n"
+            "rng = np.random.default_rng(0)\n"
+            "lhs = rng.integers(-128, 128, size=(64, 16)).astype(np.int8)\n"
+            "rhs = rng.integers(-128, 128, size=(16, 4)).astype(np.int8)\n"
+            "b.int8_gemm(lhs, rhs)\n"
+            "pids = [p.pid for p, _ in b._workers]\n"
+            "names = [s.name for s in b._staged.values()]\n"
+            "names += [r.name for r in b._rings.values() if r.shm is not None]\n"
+            "print(' '.join(map(str, pids)), flush=True)\n"
+            "print(' '.join(names), flush=True)\n"
+            "os._exit(0)  # no atexit, no shutdown — die hard\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", child_src],
+            capture_output=True, text=True, timeout=60,
+            env={**os.environ, "PYTHONPATH": "src"},
+        )
+        assert result.returncode == 0, result.stderr
+        pid_line, name_line = result.stdout.splitlines()[:2]
+        pids = [int(token) for token in pid_line.split()]
+        assert pids
+        try:
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                alive = [pid for pid in pids if _pid_alive(pid)]
+                if not alive:
+                    break
+                time.sleep(0.2)
+            assert not alive, f"orphan shard workers survived: {alive}"
+        finally:
+            # A hard-killed owner cannot unlink its segments (that is the
+            # one thing POSIX shm leaves behind); sweep them so the suite
+            # leaves /dev/shm clean.
+            from multiprocessing import shared_memory
+
+            for name in name_line.split():
+                try:
+                    segment = shared_memory.SharedMemory(name=name)
+                    segment.close()
+                    segment.unlink()
+                except FileNotFoundError:
+                    pass
+
+
+class TestParallelPoolLifecycle:
+    def test_shutdown_is_idempotent_and_restartable(self):
+        backend = ParallelBackend(num_workers=2, min_rows_per_tile=1)
+        rng = np.random.default_rng(0)
+        lhs, rhs = _int8(rng, (64, 16)), _int8(rng, (16, 4))
+        first = np.asarray(backend.int8_gemm(lhs, rhs))
+        assert backend._pool is not None
+        backend.shutdown()
+        backend.shutdown()
+        assert backend._pool is None
+        np.testing.assert_array_equal(
+            np.asarray(backend.int8_gemm(lhs, rhs)), first
+        )
+        assert backend._pool is not None
+        backend.shutdown()
+
+    def test_context_manager_shuts_down(self):
+        rng = np.random.default_rng(0)
+        with ParallelBackend(num_workers=2, min_rows_per_tile=1) as backend:
+            backend.int8_gemm(_int8(rng, (64, 16)), _int8(rng, (16, 4)))
+            assert backend._pool is not None
+        assert backend._pool is None
+
+    def test_foreign_pool_is_discarded_not_joined(self):
+        backend = ParallelBackend(num_workers=2, min_rows_per_tile=1)
+        rng = np.random.default_rng(0)
+        lhs, rhs = _int8(rng, (64, 16)), _int8(rng, (16, 4))
+        want = np.asarray(backend.int8_gemm(lhs, rhs))
+        inherited = backend._pool
+        backend._pool_pid = backend._pool_pid - 1  # pretend we forked
+        got = np.asarray(backend.int8_gemm(lhs, rhs))
+        np.testing.assert_array_equal(got, want)
+        assert backend._pool is not inherited
+        inherited.shutdown(wait=True)
+        backend.shutdown()
+
+    @pytest.mark.skipif(not hasattr(os, "fork"), reason="fork-only test")
+    def test_real_fork_child_does_not_hang_on_inherited_pool(self):
+        backend = ParallelBackend(num_workers=2, min_rows_per_tile=1)
+        rng = np.random.default_rng(0)
+        lhs, rhs = _int8(rng, (64, 16)), _int8(rng, (16, 4))
+        want = np.asarray(backend.int8_gemm(lhs, rhs))
+        assert backend._pool is not None  # the child will inherit this
+        pid = os.fork()
+        if pid == 0:
+            status = 1
+            try:
+                signal.alarm(30)
+                got = np.asarray(backend.int8_gemm(lhs, rhs))
+                if np.array_equal(got, want):
+                    status = 0
+                backend.shutdown()
+            except BaseException:
+                pass
+            finally:
+                os._exit(status)
+        _, exit_status = os.waitpid(pid, 0)
+        _sweep_segments_of(pid)
+        assert os.waitstatus_to_exitcode(exit_status) == 0
+        backend.shutdown()
+
+
+class TestRegistryIntegration:
+    def test_shard_is_registered(self):
+        assert "shard" in available_backends()
+        assert isinstance(get_backend("shard"), ShardBackend)
+
+    def test_executor_runs_plans_on_shard(self):
+        from repro.models import build_mlp
+        from repro.quant import QuantConfig, prepare_int8
+
+        backend = ShardBackend(num_workers=2, min_rows=1, min_rows_per_shard=1)
+        try:
+            bundle = build_mlp(input_shape=(1, 8, 8), hidden_layers=2,
+                               hidden_units=16, seed=0)
+            units = bundle.ff_units()
+            for index, unit in enumerate(units):
+                prepare_int8(unit, QuantConfig(rounding="nearest"), seed=index)
+                unit.eval()
+                unit.set_activation_caching(False)
+            x = np.random.default_rng(0).normal(size=(48, 64)).astype(
+                np.float32
+            )
+            sharded = PlanExecutor.for_units(
+                units, flatten_input=True, backend=backend
+            )
+            reference = PlanExecutor.for_units(
+                units, flatten_input=True, backend="reference"
+            )
+            np.testing.assert_array_equal(
+                sharded.forward(x), reference.forward(x)
+            )
+        finally:
+            backend.shutdown()
