@@ -51,7 +51,9 @@ def _is_time_key(path: str) -> bool:
     ``fused_plan`` tables).
     """
     lowered = path.lower()
-    if "kernels." in lowered or "fused_plan." in lowered:
+    if "kernels." in lowered or "fused_plan." in lowered or (
+        "fused_conv_plan." in lowered
+    ):
         return True
     leaf = lowered.rsplit(".", 1)[-1]
     if leaf.endswith(("_ms", "_rps", "_s")):

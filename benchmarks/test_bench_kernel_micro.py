@@ -11,10 +11,17 @@ serve-shaped GEMM+activation stack:
   and on multi-core hosts ``shard`` must beat ``parallel``).
 * ``rowwise_serve`` — fused per-row quantize + GEMM at the folded-label
   serving shape (10 labels x 32 requests of a 14x14 MLP).
+* ``conv_cols``     — the same fused quantize+GEMM at an im2col'd conv
+  shape (positions are rows: a 64-channel 3x3 conv over a batch of
+  16x16 feature maps) — the ResNet/MobileNet serving hot path, where the
+  shard backend ships column blocks through its ring buffers.
 * ``depthwise`` / ``depthwise_grad`` — the MobileNet/EfficientNet hot path
-  the parallel backend took off the reference integer-einsum kernels.
+  the parallel backend took off the reference integer-einsum kernels
+  (``depthwise`` now also process-sharded on the shard backend).
 * ``fused_plan``    — the compiled norm→gemm→activation serving stack,
   fused vs unfused, on the fusion-capable backends.
+* ``fused_conv_plan`` — the compiled conv→batchnorm→activation stack
+  (eval-mode BatchNorm folded into the conv epilogue), fused vs unfused.
 
 This record doubles as the data source for measured auto-pinning
 (:mod:`repro.runtime.autopin` reads the per-shape, per-backend timings and
@@ -38,6 +45,10 @@ import pytest
 from benchmarks._common import emit, run_once, save_experiment
 from repro.analysis import ExperimentResult, format_table
 from repro.models import build_mlp
+from repro.nn.activations import ReLU, ReLU6
+from repro.nn.containers import Sequential
+from repro.nn.conv import Conv2d, DepthwiseConv2d
+from repro.nn.norm import BatchNorm2d
 from repro.quant import QuantConfig, prepare_int8
 from repro.runtime import available_backends, get_backend
 from repro.runtime.executor import PlanExecutor
@@ -53,6 +64,8 @@ STRICT = os.environ.get("REPRO_BENCH_STRICT", "").strip().lower() not in (
 SERVE_ROWS, SERVE_IN, SERVE_OUT = 320, 196, 64
 LARGE_M, LARGE_K, LARGE_N = 512, 784, 256
 DW_POSITIONS, DW_CHANNELS, DW_KERNEL = 4096, 32, 9
+#: im2col'd conv GEMM: 4 x 16x16 feature-map positions, 64ch 3x3 reduction.
+CONV_ROWS, CONV_K, CONV_N = 1024, 576, 64
 
 
 def _best_ms(func, repeats: int = REPEATS) -> float:
@@ -83,10 +96,15 @@ def _kernel_cases():
     grad = rng.integers(-127, 128, size=(DW_POSITIONS, DW_CHANNELS)).astype(
         np.int8
     )
+    conv_x = rng.normal(size=(CONV_ROWS, CONV_K)).astype(np.float32)
+    conv_rhs = rng.integers(-127, 128, size=(CONV_K, CONV_N)).astype(np.int8)
     return {
         "gemm_large": lambda backend: backend.int8_gemm(lhs, rhs),
         "rowwise_serve": lambda backend: backend.rowwise_quantized_gemm(
             x, serve_rhs, 127
+        ),
+        "conv_cols": lambda backend: backend.rowwise_quantized_gemm(
+            conv_x, conv_rhs, 127
         ),
         "depthwise": lambda backend: backend.int8_depthwise(cols, weight),
         "depthwise_grad": lambda backend: backend.int8_depthwise_grad(
@@ -116,6 +134,37 @@ def _serve_stack(seed: int = 0):
     return units, inputs
 
 
+def _conv_stack(seed: int = 0):
+    """Eval-mode INT8 conv→BN→activation units (the conv serving blocks)."""
+    units = [
+        Sequential(
+            Conv2d(3, 16, 3, stride=1, padding=1, bias=False, rng=seed),
+            BatchNorm2d(16), ReLU(),
+        ),
+        Sequential(
+            DepthwiseConv2d(16, 3, stride=1, padding=1, rng=seed + 1),
+            BatchNorm2d(16), ReLU6(),
+        ),
+    ]
+    rng = np.random.default_rng(seed + 2)
+    for index, unit in enumerate(units):
+        prepare_int8(unit, QuantConfig(rounding="nearest"), seed=seed + index)
+        for module in unit.modules():
+            if isinstance(module, BatchNorm2d):
+                # Non-trivial running statistics so the BatchNorm fold is
+                # exercised, not a multiply-by-one.
+                module.running_mean = rng.normal(
+                    size=module.num_features
+                ).astype(np.float32)
+                module.running_var = (
+                    rng.random(module.num_features).astype(np.float32) + 0.5
+                )
+        unit.eval()
+        unit.set_activation_caching(False)
+    inputs = rng.normal(size=(8, 3, 16, 16)).astype(np.float32)
+    return units, inputs
+
+
 def _measure():
     backends = available_backends()
     cases = _kernel_cases()
@@ -133,30 +182,39 @@ def _measure():
             timings[case][name] = _best_ms(lambda: kernel(backend))
 
     fused = {}
+    fused_conv = {}
     for name in backends:
         if not getattr(get_backend(name), "supports_fusion", False):
             continue
-        units, inputs = _serve_stack()
-        fused_exec = PlanExecutor.for_units(units, backend=name)
-        unfused_exec = PlanExecutor.for_units(units, backend=name, fuse=False)
-        np.testing.assert_array_equal(
-            fused_exec.forward(inputs), unfused_exec.forward(inputs),
-            err_msg=f"fused plan diverged on backend {name}",
-        )
-        fused_ms = _best_ms(lambda: fused_exec.forward(inputs))
-        unfused_ms = _best_ms(lambda: unfused_exec.forward(inputs))
-        fused[name] = {
-            "fused_ms": fused_ms,
-            "unfused_ms": unfused_ms,
-            "speedup": unfused_ms / fused_ms if fused_ms else 0.0,
-        }
-    return {"kernels": timings, "fused_plan": fused}
+        for stack, table in ((_serve_stack, fused), (_conv_stack, fused_conv)):
+            units, inputs = stack()
+            fused_exec = PlanExecutor.for_units(units, backend=name)
+            unfused_exec = PlanExecutor.for_units(
+                units, backend=name, fuse=False
+            )
+            np.testing.assert_array_equal(
+                fused_exec.forward(inputs), unfused_exec.forward(inputs),
+                err_msg=f"fused plan diverged on backend {name}",
+            )
+            fused_ms = _best_ms(lambda: fused_exec.forward(inputs))
+            unfused_ms = _best_ms(lambda: unfused_exec.forward(inputs))
+            table[name] = {
+                "fused_ms": fused_ms,
+                "unfused_ms": unfused_ms,
+                "speedup": unfused_ms / fused_ms if fused_ms else 0.0,
+            }
+    return {
+        "kernels": timings,
+        "fused_plan": fused,
+        "fused_conv_plan": fused_conv,
+    }
 
 
 @pytest.mark.benchmark(group="kernel_micro")
 def test_kernel_microbenchmark(benchmark):
     measured = run_once(benchmark, _measure)
     timings, fused = measured["kernels"], measured["fused_plan"]
+    fused_conv = measured["fused_conv_plan"]
     backends = available_backends()
 
     rows = [
@@ -178,6 +236,15 @@ def test_kernel_microbenchmark(benchmark):
         title="fused vs unfused serve-shaped plan (norm→gemm→activation x2)",
         float_format="{:.3f}",
     ))
+    emit(format_table(
+        ["backend", "unfused (ms)", "fused (ms)", "speedup"],
+        [
+            [name, stats["unfused_ms"], stats["fused_ms"], stats["speedup"]]
+            for name, stats in fused_conv.items()
+        ],
+        title="fused vs unfused conv plan (conv→BN→act + depthwise→BN→act)",
+        float_format="{:.3f}",
+    ))
 
     shard_workers = getattr(get_backend("shard"), "shard_workers", 1)
     result = ExperimentResult(
@@ -190,6 +257,7 @@ def test_kernel_microbenchmark(benchmark):
             "repeats": REPEATS,
             "gemm_large": [LARGE_M, LARGE_K, LARGE_N],
             "rowwise_serve": [SERVE_ROWS, SERVE_IN, SERVE_OUT],
+            "conv_cols": [CONV_ROWS, CONV_K, CONV_N],
             "depthwise": [DW_POSITIONS, DW_CHANNELS, DW_KERNEL],
             "shard_workers": shard_workers,
         },

@@ -159,6 +159,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--cache-size", type=int, default=0,
                        help="LRU prediction-cache capacity (0 disables; kept "
                             "off by default so the speedup is pure batching)")
+    bench.add_argument("--no-fuse", action="store_true",
+                       help="compile strictly unfused plans (step-per-module "
+                            "walk) — the serving A/B baseline for fusion")
     bench.add_argument("--output", default=None,
                        help="optional path for a JSON benchmark summary")
     return parser
@@ -364,8 +367,10 @@ def _cmd_serve_bench(args) -> int:
         artifact, test_set = _train_and_freeze(args)
     # Resolve pins once, at this deployment's coalesced batch height (the
     # micro-batcher re-applies the same pins at the same height, which is a
-    # calibration-cache hit), so the report below matches what serves.
-    engine = build_engine(artifact, backend=args.backend)
+    # plan-cache hit on the memoized executor), so the report below matches
+    # what serves.
+    engine = build_engine(artifact, backend=args.backend,
+                          fuse=not args.no_fuse)
     if pins:
         engine.apply_pins(pins, batch_size=args.max_batch_size)
     if pins == "auto":
@@ -399,7 +404,8 @@ def _cmd_serve_bench(args) -> int:
         max_batch_size=args.max_batch_size, max_wait_ms=args.max_wait_ms,
         num_workers=args.workers, cache_capacity=args.cache_size,
         dedup_inflight=args.cache_size > 0, backend=args.backend,
-        pins=pins, autoscale_wait=args.autoscale_wait,
+        pins=pins, fuse=not args.no_fuse,
+        autoscale_wait=args.autoscale_wait,
         min_wait_ms=args.min_wait_ms,
     )
     batcher = MicroBatcher(engine, config)
@@ -436,6 +442,10 @@ def _cmd_serve_bench(args) -> int:
           f"(mean batch size {snap['mean_batch_size']:.1f}, "
           f"{int(snap['batches'])} batches, "
           f"cache hit rate {cache_stats['hit_rate']:.1%})")
+    plan_stats = engine.plan_cache_stats()
+    print(f"plan cache: {plan_stats['compiles']} compile(s), "
+          f"{plan_stats['hits']} hit(s), "
+          f"{plan_stats['entries']} cached plan(s)")
     if args.autoscale_wait:
         print(f"adaptive max_wait settled at {batcher.current_wait_ms:.2f} ms "
               f"(bounds [{args.min_wait_ms:.2f}, {args.max_wait_ms:.2f}] ms, "
@@ -450,6 +460,7 @@ def _cmd_serve_bench(args) -> int:
             "single": {"throughput_rps": single_throughput, **single_stats},
             "batched": {"throughput_rps": batched_throughput, **snap},
             "cache": cache_stats,
+            "plan_cache": plan_stats,
             "speedup": speedup,
         }, args.output)
         print(f"benchmark summary written to {args.output}")

@@ -12,6 +12,11 @@ from typing import Tuple
 
 import numpy as np
 
+try:  # NumPy >= 1.20
+    from numpy.lib.stride_tricks import sliding_window_view
+except ImportError:  # pragma: no cover - ancient NumPy
+    sliding_window_view = None
+
 
 # --------------------------------------------------------------------------- #
 # shape helpers
@@ -42,6 +47,12 @@ def im2col(
     by :class:`repro.nn.conv.Conv2d`, so the convolution reduces to one GEMM —
     the same lowering that INT8 engines on edge devices use, which keeps the
     operation counting in :mod:`repro.hardware` faithful.
+
+    Patch gathering goes through :func:`numpy.lib.stride_tricks.
+    sliding_window_view` (one strided view + one copy at the final reshape)
+    instead of a per-tap Python loop; both produce the identical array —
+    every column element is a pure copy of an input element — so the choice
+    is invisible to everything downstream.
     """
     batch, channels, height, width = x.shape
     kernel_h, kernel_w = kernel
@@ -53,6 +64,13 @@ def im2col(
     padded = np.pad(
         x, ((0, 0), (0, 0), (pad_h, pad_h), (pad_w, pad_w)), mode="constant"
     )
+    if sliding_window_view is not None:
+        windows = sliding_window_view(
+            padded, (kernel_h, kernel_w), axis=(2, 3)
+        )[:, :, ::stride_h, ::stride_w]
+        return np.ascontiguousarray(
+            windows.transpose(0, 2, 3, 1, 4, 5)
+        ).reshape(batch * out_h * out_w, channels * kernel_h * kernel_w)
     cols = np.empty(
         (batch, channels, kernel_h, kernel_w, out_h, out_w), dtype=x.dtype
     )

@@ -120,11 +120,17 @@ def record_is_fresh(record: dict, candidates: Sequence[str]) -> bool:
 
 
 def cases_from_record(record: dict) -> List[TimingCase]:
-    """Timing cases for the record's dense-GEMM shapes (rows, K, N)."""
+    """Timing cases for the record's dense-GEMM shapes (rows, K, N).
+
+    ``conv_cols`` (the im2col'd conv GEMM shape, present in records written
+    since the conv serving path landed) rides along when available, so
+    conv-shaped plan steps resolve against a measured conv point instead of
+    the nearest dense one.
+    """
     parameters = record.get("parameters") or {}
     kernels = (record.get("results") or {}).get("kernels") or {}
     cases = []
-    for name in ("rowwise_serve", "gemm_large"):
+    for name in ("rowwise_serve", "gemm_large", "conv_cols"):
         shape = parameters.get(name)
         timings = kernels.get(name)
         if shape and timings:
@@ -254,9 +260,16 @@ def clear_calibration_cache() -> None:
 # resolution
 # --------------------------------------------------------------------------- #
 def gemm_shape(step: KernelStep) -> Optional[Tuple[int, int]]:
-    """``(reduce_dim, cols)`` of the GEMM a step executes, if any."""
+    """``(reduce_dim, cols)`` of the GEMM a step executes, if any.
+
+    Covers the dense GEMMs (:class:`Linear`) and the im2col-lowered
+    convolutions (:class:`Conv2d`), whose weight ``(out_c, C, kh, kw)``
+    flattens to the ``(C*kh*kw, out_c)`` GEMM operand.  Depthwise steps are
+    not GEMMs (their reduction is a per-position inner product) and return
+    ``None`` — they keep the ambient backend selection.
+    """
     for sub in step.constituents:
-        if sub.kind != "gemm":
+        if sub.kind not in ("gemm", "conv"):
             continue
         module = sub.module
         engine = getattr(module, "quant_engine", None)
@@ -264,9 +277,99 @@ def gemm_shape(step: KernelStep) -> Optional[Tuple[int, int]]:
         if weight_qt is not None and getattr(weight_qt, "ndim", 0) == 2:
             return int(weight_qt.shape[0]), int(weight_qt.shape[1])
         weight = getattr(getattr(module, "weight", None), "data", None)
-        if weight is not None and weight.ndim == 2:  # Linear: (out, in)
-            return int(weight.shape[1]), int(weight.shape[0])
+        if weight is not None and weight.ndim >= 2:
+            # Linear: (out, in); Conv2d: (out, C, kh, kw) — both reduce
+            # over everything but the leading output axis.
+            return (
+                int(np.prod(weight.shape[1:], dtype=np.int64)),
+                int(weight.shape[0]),
+            )
     return None
+
+
+def _propagate_shape(step: KernelStep, shape):
+    """Next per-sample activation shape after ``step``, or ``None``.
+
+    Best-effort shape inference used to scale the expected GEMM rows by
+    the conv feature-map positions (``rows = batch * out_h * out_w``).
+    Opaque ``module`` steps (residual blocks, SE gates) stop propagation —
+    downstream conv steps then fall back to the bare batch height, which
+    is conservative: it can only under-pin toward the small-rows winner.
+    """
+    if shape is None:
+        return None
+    for sub in step.constituents:
+        module = sub.module
+        kind = sub.kind
+        if kind in ("conv", "depthwise", "pool"):
+            output_shape = getattr(module, "output_shape", None)
+            if callable(output_shape) and len(shape) == 3:
+                try:
+                    shape = tuple(
+                        int(v) for v in output_shape((1,) + tuple(shape))[1:]
+                    )
+                except Exception:
+                    return None
+            elif kind == "pool" and len(shape) == 3 and not hasattr(
+                module, "kernel_size"
+            ):
+                shape = (shape[0],)  # global average pool -> (C,)
+            elif kind == "pool" and len(shape) == 3:
+                from repro.nn.functional import conv_output_size
+
+                kh, kw = module.kernel_size
+                sh, sw = module.stride
+                ph, pw = getattr(module, "padding", (0, 0))
+                try:
+                    shape = (
+                        shape[0],
+                        conv_output_size(shape[1], kh, sh, ph),
+                        conv_output_size(shape[2], kw, sw, pw),
+                    )
+                except ValueError:
+                    return None
+            else:
+                return None
+        elif kind == "reshape":
+            shape = (int(np.prod(shape, dtype=np.int64)),)
+        elif kind == "gemm":
+            weight = getattr(getattr(module, "weight", None), "data", None)
+            if weight is None:
+                return None
+            shape = (int(weight.shape[0]),)
+        elif kind in ("norm", "activation", "dropout", "identity"):
+            continue
+        else:  # opaque composite: output shape unknowable here
+            return None
+    return shape
+
+
+def _step_rows(
+    steps: Sequence[KernelStep],
+    batch_rows: int,
+    input_shape: Optional[Sequence[int]],
+) -> List[int]:
+    """Expected GEMM rows per step: batch height x conv spatial positions."""
+    rows = []
+    shape = tuple(int(v) for v in input_shape) if input_shape else None
+    for step in steps:
+        step_rows = batch_rows
+        if shape is not None and len(shape) == 3 and any(
+            sub.kind == "conv" for sub in step.constituents
+        ):
+            conv = next(
+                sub for sub in step.constituents if sub.kind == "conv"
+            )
+            try:
+                _, _, out_h, out_w = conv.module.output_shape(
+                    (1,) + shape
+                )
+                step_rows = batch_rows * int(out_h) * int(out_w)
+            except Exception:
+                pass
+        rows.append(step_rows)
+        shape = _propagate_shape(step, shape)
+    return rows
 
 
 def resolve_backend(
@@ -299,31 +402,41 @@ def autopin_steps(
     batch_rows: Optional[int] = None,
     cases: Optional[Sequence[TimingCase]] = None,
     candidates: Sequence[str] = AUTOPIN_CANDIDATES,
+    input_shape: Optional[Sequence[int]] = None,
 ) -> List[KernelStep]:
     """Rewrite GEMM-bearing steps with their measured backend winner.
 
     ``cases`` defaults to the committed kernel microbenchmark record when
     it is fresh for this machine, else to an in-process calibration over
-    the plan's own layer shapes.  Steps without a resolvable GEMM shape
-    (convs, pools, opaque modules) pass through unpinned.
+    the plan's own layer shapes.  GEMM-bearing steps include the im2col'd
+    convolutions: with ``input_shape`` (the per-sample ``(C, H, W)``) their
+    expected rows scale by the conv's feature-map positions — the height
+    the sharded column blocks actually run at.  Steps without a resolvable
+    GEMM shape (depthwise, pools, opaque modules) pass through unpinned.
     """
     from dataclasses import replace
 
     rows = int(batch_rows) if batch_rows else DEFAULT_BATCH_ROWS
     shapes = [gemm_shape(step) for step in steps]
+    step_rows = _step_rows(steps, rows, input_shape)
     if cases is None:
         cases = load_recorded_cases(candidates=candidates)
     if cases is None:
         wanted = sorted(
-            {(rows, k, n) for shape in shapes if shape for k, n in [shape]}
+            {
+                (r, k, n)
+                for r, shape in zip(step_rows, shapes)
+                if shape
+                for k, n in [shape]
+            }
         )
         cases = calibrate(wanted, candidates=candidates) if wanted else []
     pinned = []
-    for step, shape in zip(steps, shapes):
+    for step, shape, r in zip(steps, shapes, step_rows):
         if shape is None:
             pinned.append(step)
             continue
-        winner = resolve_backend(rows, shape[0], cases, candidates)
+        winner = resolve_backend(r, shape[0], cases, candidates)
         pinned.append(replace(step, backend=winner) if winner else step)
     return pinned
 
@@ -333,18 +446,21 @@ def autopin(
     batch_rows: Optional[int] = None,
     cases: Optional[Sequence[TimingCase]] = None,
     candidates: Sequence[str] = AUTOPIN_CANDIDATES,
+    input_shape: Optional[Sequence[int]] = None,
 ):
     """A copy of ``plan`` with every GEMM step pinned to its measured winner.
 
     ``batch_rows`` is the expected GEMM batch height (for serving: the
     coalesced batch times the folded label count); it defaults to the
-    serve-shaped :data:`DEFAULT_BATCH_ROWS`.  See :func:`autopin_steps`
-    for the timing-source resolution order.
+    serve-shaped :data:`DEFAULT_BATCH_ROWS`.  ``input_shape`` lets conv
+    steps scale that height by their feature-map positions.  See
+    :func:`autopin_steps` for the timing-source resolution order.
     """
     from dataclasses import replace as dc_replace
 
     steps = autopin_steps(
-        plan.steps, batch_rows=batch_rows, cases=cases, candidates=candidates
+        plan.steps, batch_rows=batch_rows, cases=cases,
+        candidates=candidates, input_shape=input_shape,
     )
     return dc_replace(plan, steps=steps)
 

@@ -25,6 +25,10 @@ that communicate through ``multiprocessing.shared_memory`` ring buffers:
   shard accumulates exact integers, so the concatenated result is
   bit-identical to ``reference``/``fast``/``parallel`` whatever the shard
   boundaries — the same parity property tests cover all four backends.
+  The im2col'd conv path rides this for free (its column blocks are GEMM
+  rows through ``rowwise_quantized_gemm``), and ``int8_depthwise`` ships
+  its per-position column blocks through the same rings (positions are
+  rows; each reduction spans only ``kernel_area`` products).
 * **Threshold delegation.**  Below :attr:`min_rows` (default
   ``REPRO_SHARD_MIN_ROWS`` or the measured crossover default) the IPC
   round-trip cannot pay for itself, so the kernels delegate to the
@@ -170,6 +174,15 @@ def _shard_compute(
         # Same arithmetic as the fast backend's exact path: int8 rows staged
         # to float32 feed one sgemm whose accumulation is exact.
         np.matmul(lhs[r0:r1].astype(np.float32), rhs, out=out[r0:r1])
+    elif op == "depthwise":
+        # Positions are rows: each (position, channel) reduction spans only
+        # kernel_area products bounded by 128^2, far inside float32's exact
+        # window — the same tile arithmetic as the parallel backend's f32
+        # einsum, so shard boundaries cannot change a bit.
+        np.einsum(
+            "pck,ck->pc", lhs[r0:r1].astype(np.float32), rhs,
+            out=out[r0:r1],
+        )
     elif op == "rowwise":
         tile = lhs[r0:r1]
         tile_scales = rowwise_scales(tile, qmax)
@@ -363,8 +376,13 @@ class ShardBackend(ParallelBackend):
         }
         # fingerprint caches: id/layout token -> content digest (guarded by
         # a weakref so a recycled id can never alias), digest -> segment.
+        # The LRU bound is per-instance and grows to fit whole plans (see
+        # stage_plan_weights): a conv model with more layers than the
+        # default bound would otherwise evict-and-restage segments on every
+        # traversal, churning shared memory per request.
         self._digest_by_token: Dict[tuple, Tuple[Any, str]] = {}
         self._staged: "OrderedDict[str, _SharedArray]" = OrderedDict()
+        self._weight_cache_entries = _WEIGHT_CACHE_ENTRIES
         self._shard_atexit = False
 
     # ------------------------------------------------------------------ #
@@ -555,7 +573,7 @@ class ShardBackend(ParallelBackend):
                 np.ascontiguousarray(f32_factory(), dtype=np.float32)
             )
             self._staged[digest] = staged
-            while len(self._staged) > _WEIGHT_CACHE_ENTRIES:
+            while len(self._staged) > self._weight_cache_entries:
                 _, evicted = self._staged.popitem(last=False)
                 evicted.close()
         else:
@@ -571,24 +589,52 @@ class ShardBackend(ParallelBackend):
         """
         if self.shard_workers < 2:
             return
+        wanted = []
+        for step in plan.steps:
+            for sub in step.constituents:
+                engine = getattr(sub.module, "quant_engine", None)
+                if engine is None:
+                    continue
+                if sub.kind == "depthwise":
+                    # The sharded depthwise operand is the frozen int8
+                    # weight itself (staged as exact float32), provided its
+                    # kernel_area reduction stays inside the exact window.
+                    weight_q = getattr(engine, "weight_q", None)
+                    if (
+                        weight_q is not None
+                        and weight_q.dtype == np.int8
+                        and exact_f32_possible(
+                            weight_q.shape[-1], qmax=128, rhs_max=128
+                        )
+                    ):
+                        wanted.append(
+                            (weight_q,
+                             lambda a=weight_q: a.astype(np.float32))
+                        )
+                    continue
+                # Public staging hook on the frozen serve kernels (see
+                # FrozenInt8Kernel.rhs_f32_for); engines without it —
+                # training-side kernels that re-derive weights — have
+                # nothing stable to stage.
+                hook = getattr(engine, "rhs_f32_for", None)
+                rhs_f32 = hook(self) if callable(hook) else None
+                if rhs_f32 is not None:
+                    wanted.append((rhs_f32, lambda a=rhs_f32: a))
         with self._shard_lock:
             self._check_owner()
-            staged_any = False
-            for step in plan.steps:
-                for sub in step.constituents:
-                    engine = getattr(sub.module, "quant_engine", None)
-                    rhs_f32 = None
-                    # Public staging hook on the frozen serve kernels (see
-                    # FrozenInt8Kernel.rhs_f32_for); engines without it —
-                    # training-side kernels that re-derive weights — have
-                    # nothing stable to stage.
-                    hook = getattr(engine, "rhs_f32_for", None)
-                    if callable(hook):
-                        rhs_f32 = hook(self)
-                    if rhs_f32 is not None:
-                        self._staged_weight(rhs_f32, lambda a=rhs_f32: a)
-                        staged_any = True
-            if staged_any:
+            # Grow the LRU bound to hold this plan *on top of* everything
+            # already staged (plus headroom for ad-hoc kernel calls), so
+            # per-plan weights are staged exactly once and survive every
+            # traversal and plan swap — including when several engines'
+            # plans share this backend instance, where a bound sized to one
+            # plan would make the engines evict each other per traversal.
+            self._weight_cache_entries = max(
+                self._weight_cache_entries,
+                len(self._staged) + len(wanted) + 8,
+            )
+            for source, factory in wanted:
+                self._staged_weight(source, factory)
+            if wanted:
                 # Pre-warm the pool too: engines stage from the main
                 # thread at construction, where the O(ms) fork start is
                 # still available — a pool first started from inside a
@@ -720,6 +766,35 @@ class ShardBackend(ParallelBackend):
             return self._run_sharded(
                 "int8_gemm", np.ascontiguousarray(lhs_q), staged,
                 (lhs_q.shape[0], rhs_q.shape[1]), shards,
+            )
+
+    def int8_depthwise(
+        self, cols_q: np.ndarray, weight_q: np.ndarray
+    ) -> np.ndarray:
+        """Process-sharded depthwise inner products (positions are rows).
+
+        The im2col'd column blocks ship through the same shared-memory ring
+        buffers as the GEMM activations; below :attr:`min_rows` positions
+        (small feature maps) the call delegates to the inherited
+        ``parallel`` tiling so it never pays the IPC round-trip.
+        """
+        if cols_q.ndim != 3:
+            return super().int8_depthwise(cols_q, weight_q)
+        shards = self._shard_bounds(cols_q.shape[0])
+        exact = (
+            cols_q.dtype == np.int8
+            and weight_q.dtype == np.int8
+            and exact_f32_possible(cols_q.shape[2], qmax=128, rhs_max=128)
+        )
+        if shards is None or not exact:
+            return super().int8_depthwise(cols_q, weight_q)
+        with self._shard_lock:
+            staged = self._staged_weight(
+                weight_q, lambda: weight_q.astype(np.float32)
+            )
+            return self._run_sharded(
+                "depthwise", np.ascontiguousarray(cols_q), staged,
+                (cols_q.shape[0], cols_q.shape[1]), shards,
             )
 
     def rowwise_quantized_gemm(

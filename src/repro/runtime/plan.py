@@ -17,13 +17,18 @@ Two optimization passes run over the lowered steps:
   on single-threaded BLAS.
 * **Fusion** (``fuse=True``, the default): adjacent ``norm→gemm``,
   ``gemm→activation`` and ``norm→gemm→activation`` runs inside one unit
-  collapse into a single ``fused`` step.  The executor runs fused steps
-  through the backend's ``fused_*`` kernels without materializing the
-  intermediate module outputs; backends that do not support fusion (the
-  ``reference`` oracle), training-mode steps that must fill activation
-  caches, and instrumented runs all fall back to the original step-by-step
-  module walk — so fusion never changes a number, only the amount of
-  allocation between kernels.
+  collapse into a single ``fused`` step, and so do the convolutional
+  serving blocks — ``conv→batchnorm→activation``, ``depthwise→batchnorm→
+  activation`` and ``gemm→batchnorm→activation`` (eval-mode BatchNorm is
+  folded into the GEMM epilogue as an exact per-channel affine, applied in
+  the im2col column layout before the NCHW transpose).  The executor runs
+  fused steps through the backend's ``fused_*`` kernels without
+  materializing the intermediate module outputs; backends that do not
+  support fusion (the ``reference`` oracle), training-mode steps that must
+  fill activation caches or update BatchNorm running statistics, and
+  instrumented runs all fall back to the original step-by-step module walk
+  — so fusion never changes a number, only the amount of allocation
+  between kernels.
 
 The compiled :class:`ExecutionPlan` is what every forward path in the repo
 executes (training, label-probe classification, softmax readout features,
@@ -337,18 +342,55 @@ def _apply_pins(
 # --------------------------------------------------------------------------- #
 # fusion pass
 # --------------------------------------------------------------------------- #
+#: module types allowed as the GEMM-bearing core of a fused group, by kind.
+_FUSABLE_CORES = {
+    "gemm": Linear,
+    "conv": Conv2d,
+    "depthwise": DepthwiseConv2d,
+}
+
+
+def _core_channels(step: KernelStep) -> int:
+    """Output channel/feature count of a fusable core step."""
+    module = step.module
+    if step.kind == "gemm":
+        return int(module.weight.data.shape[0])
+    if step.kind == "conv":
+        return int(module.out_channels)
+    return int(module.channels)
+
+
+def batchnorm_foldable(norm: KernelStep, core: KernelStep) -> bool:
+    """True when ``norm`` is a BatchNorm the fused core epilogue can absorb.
+
+    Eval-mode BatchNorm after a conv/linear is a per-output-channel affine
+    — exactly representable as an elementwise pass over the GEMM output
+    (in the im2col column layout for convolutions, where channels are the
+    trailing axis).  Structural check only: training-mode refusal (running
+    statistics must mutate) happens at execution time, where the mode is
+    actually known.
+    """
+    return (
+        isinstance(norm.module, _BatchNormBase)
+        and norm.module.num_features == _core_channels(core)
+    )
+
+
 def _fusable_group(
     steps: List[KernelStep], start: int
 ) -> Optional[Tuple[KernelStep, ...]]:
-    """The longest norm→gemm→activation run starting at ``start``, if any.
+    """The longest fusable run starting at ``start``, if any.
 
-    Constituents must belong to the same unit and carry the same backend
-    pin; a constituent that is a unit output can only be the group's last
-    element (the goodness function taps unit outputs, so intermediate
-    activities inside a fused step must not be observable ones).  Only
-    :class:`FFLayerNorm` norms and :class:`Linear` gemms participate —
-    BatchNorm mutates running statistics in training mode and convolutions
-    carry their own im2col staging, so both stay step-per-module.
+    Two families of runs collapse: ``[FFLayerNorm] → Linear → [activation]``
+    (the dense FF stack) and ``conv|depthwise|gemm → [BatchNorm] →
+    [activation]`` (the conv/serving blocks — eval-mode BatchNorm folds
+    into the core's epilogue, see :func:`batchnorm_foldable`).  Constituents
+    must belong to the same unit and carry the same backend pin; a
+    constituent that is a unit output can only be the group's last element
+    (the goodness function taps unit outputs, so intermediate activities
+    inside a fused step must not be observable ones).  Training-mode
+    BatchNorm never executes fused — the executor falls back to the module
+    walk so running statistics update exactly as before.
     """
     index = start
     norm: Optional[KernelStep] = None
@@ -361,24 +403,41 @@ def _fusable_group(
     ):
         norm = first
         index += 1
-    gemm = steps[index] if index < len(steps) else None
-    if gemm is None or gemm.kind != "gemm" or type(gemm.module) is not Linear:
+    core = steps[index] if index < len(steps) else None
+    if core is None or type(core.module) is not _FUSABLE_CORES.get(core.kind):
+        return None
+    if norm is not None and core.kind != "gemm":
+        # FFLayerNorm pre-normalization only pairs with the dense GEMM (the
+        # FF stack shape); a conv after it stays step-per-module.
         return None
     if norm is not None and (
-        gemm.unit_index != norm.unit_index or gemm.backend != norm.backend
+        core.unit_index != norm.unit_index or core.backend != norm.backend
     ):
         return None
+    index += 1
+    post: Optional[KernelStep] = None
+    if not core.is_unit_output and index < len(steps):
+        candidate = steps[index]
+        if (
+            candidate.kind == "norm"
+            and candidate.unit_index == core.unit_index
+            and candidate.backend == core.backend
+            and batchnorm_foldable(candidate, core)
+        ):
+            post = candidate
+            index += 1
+    tail = post if post is not None else core
     act: Optional[KernelStep] = None
-    if not gemm.is_unit_output and index + 1 < len(steps):
-        candidate = steps[index + 1]
+    if not tail.is_unit_output and index < len(steps):
+        candidate = steps[index]
         if (
             candidate.kind == "activation"
-            and candidate.unit_index == gemm.unit_index
-            and candidate.backend == gemm.backend
+            and candidate.unit_index == core.unit_index
+            and candidate.backend == core.backend
             and activation_applier(candidate.module) is not None
         ):
             act = candidate
-    group = tuple(step for step in (norm, gemm, act) if step is not None)
+    group = tuple(step for step in (norm, core, post, act) if step is not None)
     return group if len(group) >= 2 else None
 
 
@@ -413,6 +472,7 @@ def compile_plan(
     fuse: bool = True,
     pins=None,
     auto_rows: Optional[int] = None,
+    auto_input_shape: Optional[Sequence[int]] = None,
 ) -> ExecutionPlan:
     """Compile an ordered FF unit stack into an :class:`ExecutionPlan`.
 
@@ -421,9 +481,11 @@ def compile_plan(
     trainer updates at.  ``pins`` attaches per-step backend overrides (see
     :func:`_apply_pins` for the spec syntax, or :data:`AUTO_PINS` to
     resolve every layer from measured timings — ``auto_rows`` then names
-    the expected GEMM batch rows) and ``fuse`` (default on) collapses
-    norm→gemm→activation runs into fused steps; every pass preserves the
-    executed arithmetic exactly.
+    the expected GEMM batch rows and ``auto_input_shape`` the per-sample
+    ``(C, H, W)`` so conv steps scale those rows by their feature-map
+    positions) and ``fuse`` (default on) collapses norm/gemm/conv/
+    activation runs into fused steps; every pass preserves the executed
+    arithmetic exactly.
     """
     if not units:
         raise ValueError("cannot compile a plan over zero units")
@@ -447,7 +509,9 @@ def compile_plan(
         # benchmark-record loader, which plan compilation never needs).
         from repro.runtime.autopin import autopin_steps
 
-        steps = autopin_steps(steps, batch_rows=auto_rows)
+        steps = autopin_steps(
+            steps, batch_rows=auto_rows, input_shape=auto_input_shape
+        )
     unit_step_counts = [0] * len(units)
     for step in steps:
         unit_step_counts[step.unit_index] += 1
@@ -464,6 +528,7 @@ __all__ = [
     "AUTO_PINS",
     "step_kind",
     "activation_applier",
+    "batchnorm_foldable",
     "validate_pins",
     "KernelStep",
     "ExecutionPlan",

@@ -24,7 +24,8 @@ BLAS calls with fused per-row quantization — the default serving path).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+import hashlib
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -260,6 +261,14 @@ class Int8InferenceEngine:
     The folded-label read-out executes the units' compiled plan once for all
     ``num_classes`` overlays — valid because the frozen kernels quantize
     activations per row.
+
+    Compiled plans are **memoized** per ``(units_fingerprint, pins, fusion)``
+    key: the units are frozen, so a pin spec (or ``"auto"`` resolution
+    height) seen before maps to the exact executor compiled for it —
+    repeated :meth:`apply_pins` calls and A/B sweeps over pin policies stop
+    paying plan compilation, auto-pin measurement, or weight re-staging.
+    :attr:`plan_compiles` / :meth:`plan_cache_stats` expose the counters
+    the cache tests (and ``serve-bench``) read.
     """
 
     def __init__(
@@ -272,6 +281,8 @@ class Int8InferenceEngine:
         counts: Optional[OpCounts] = None,
         backend: BackendLike = None,
         pins: Optional[dict] = None,
+        fuse: bool = True,
+        input_shape: Optional[Tuple[int, ...]] = None,
     ) -> None:
         if not units:
             raise ValueError("engine needs at least one frozen unit")
@@ -285,19 +296,28 @@ class Int8InferenceEngine:
             skip_first_layer = len(self.units) >= 2
         self.skip_first_layer = skip_first_layer
         self.counts = counts if counts is not None else OpCounts()
+        self.fuse = bool(fuse)
+        self.input_shape = tuple(input_shape) if input_shape else None
+        self._backend = backend
         for unit in self.units:
             unit.eval()
             unit.set_activation_caching(False)
+        # Plan memoization state.  The units fingerprint is computed once —
+        # the weights are frozen for the engine's lifetime — and anchors
+        # every cache key, so a key can never outlive the weights it was
+        # compiled for.
+        self._units_fp = self._units_fingerprint(self.units)
+        self._plan_cache: Dict[tuple, PlanExecutor] = {}
+        self._plan_compiles = 0
+        self._plan_cache_hits = 0
+        self._active_pins = pins
+        self._active_rows = self._auto_rows()
         # Units are permanently eval from here on; static_eval spares the
         # per-batch mode save/restore walk on the serving hot path.  The
-        # compiled plan fuses norm→gemm→activation runs and honours the
-        # per-layer backend pins (``pins="auto"`` resolves them from
+        # compiled plan fuses norm/gemm/conv/activation runs and honours
+        # the per-layer backend pins (``pins="auto"`` resolves them from
         # measured timings at the folded-label batch height).
-        self.executor = PlanExecutor.for_units(
-            self.units, flatten_input=flatten_input, backend=backend,
-            static_eval=True, pins=pins,
-            auto_rows=self._auto_rows(),
-        )
+        self.executor = self._executor_for(pins, self._auto_rows())
         # Backends with out-of-process weight storage (shard) stage the
         # frozen weights once now, not on the first served request.
         self.executor.stage_shared_weights()
@@ -310,6 +330,7 @@ class Int8InferenceEngine:
         bundle: Optional[ModelBundle] = None,
         backend: BackendLike = None,
         pins: Optional[dict] = None,
+        fuse: bool = True,
     ) -> "Int8InferenceEngine":
         """Materialize an engine from an exported artifact.
 
@@ -319,7 +340,8 @@ class Int8InferenceEngine:
         training it afterwards.  ``backend`` pins a kernel backend for this
         engine; by default the ambient runtime selection applies.  ``pins``
         overrides the backend per layer (a pinned layer outranks even the
-        engine-level backend).
+        engine-level backend).  ``fuse=False`` compiles strictly unfused
+        plans (the step-per-module walk; useful as a serving A/B baseline).
         """
         if bundle is None:
             bundle = _bundle_from_metadata(artifact)
@@ -342,9 +364,69 @@ class Int8InferenceEngine:
             counts=counts,
             backend=backend,
             pins=pins,
+            fuse=fuse,
+            input_shape=artifact.input_shape,
         )
 
     # ------------------------------------------------------------------ #
+    # plan memoization
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _units_fingerprint(units: Sequence[Module]) -> str:
+        """Content digest over every frozen parameter of the unit stack.
+
+        The same blake2b family the shard backend fingerprints staged
+        weight segments with; computed once at construction (the engine's
+        weights are immutable) and folded into every plan-cache key.
+        """
+        digest = hashlib.blake2b(digest_size=16)
+        for index, unit in enumerate(units):
+            for name, param in unit.named_parameters():
+                digest.update(f"unit{index}.{name}".encode())
+                digest.update(np.ascontiguousarray(param.data).tobytes())
+        return digest.hexdigest()
+
+    def _plan_key(self, pins, auto_rows: int) -> tuple:
+        """Cache key for one compiled plan: (units, pins, fusion [, rows])."""
+        if pins is None:
+            pins_key = None
+        elif isinstance(pins, str):  # AUTO_PINS: resolution depends on rows
+            pins_key = (pins, int(auto_rows))
+        else:
+            pins_key = tuple(sorted(dict(pins).items()))
+        return (self._units_fp, pins_key, self.fuse)
+
+    def _executor_for(self, pins, auto_rows: int) -> PlanExecutor:
+        key = self._plan_key(pins, auto_rows)
+        executor = self._plan_cache.get(key)
+        if executor is not None:
+            self._plan_cache_hits += 1
+            return executor
+        executor = PlanExecutor.for_units(
+            self.units, flatten_input=self.flatten_input,
+            backend=self._backend, static_eval=True, fuse=self.fuse,
+            pins=pins, auto_rows=auto_rows,
+            auto_input_shape=(
+                None if self.flatten_input else self.input_shape
+            ),
+        )
+        self._plan_compiles += 1
+        self._plan_cache[key] = executor
+        return executor
+
+    @property
+    def plan_compiles(self) -> int:
+        """How many plans this engine actually compiled (cache misses)."""
+        return self._plan_compiles
+
+    def plan_cache_stats(self) -> Dict[str, int]:
+        """Snapshot of the plan-memoization counters."""
+        return {
+            "compiles": self._plan_compiles,
+            "hits": self._plan_cache_hits,
+            "entries": len(self._plan_cache),
+        }
+
     def _auto_rows(self, batch_size: Optional[int] = None) -> int:
         """Expected GEMM rows for auto-pinning: folded labels x batch."""
         return self.overlay.num_classes * int(batch_size or 32)
@@ -352,38 +434,69 @@ class Int8InferenceEngine:
     def apply_pins(
         self, pins, batch_size: Optional[int] = None
     ) -> "Int8InferenceEngine":
-        """Recompile the execution plan with per-layer backend pins.
+        """Swap the execution plan to one compiled with ``pins``.
 
         Replaces any pins the plan was compiled with; the micro-batcher
         calls this so ``ServeConfig.pins`` reaches an engine that was built
         without them.  ``pins`` may be a spec mapping or ``"auto"``
         (measured resolution at ``batch_size`` coalesced requests — the
         engine folds all label overlays into the batch dimension, so the
-        GEMM height is ``num_classes * batch_size``).  Returns ``self``
-        for chaining.
+        GEMM height is ``num_classes * batch_size``).  Plans are memoized
+        per ``(units_fingerprint, pins, fusion)``: a pin spec seen before
+        returns its already-compiled executor (object identity), so
+        A/B-ing pin policies — or the batcher re-applying the config's
+        pins — never recompiles or re-measures.  Returns ``self`` for
+        chaining.
         """
-        self.executor = PlanExecutor.for_units(
-            self.units, flatten_input=self.flatten_input,
-            backend=self.executor.backend, static_eval=True, pins=pins,
-            auto_rows=self._auto_rows(batch_size),
+        self._active_pins = pins
+        self._active_rows = self._auto_rows(batch_size)
+        self.executor = self._executor_for(pins, self._active_rows)
+        # Cheap on a cache hit: weights staged for this plan are fingerprint
+        # token hits in the shard backend's segment cache.  Still called so
+        # a closed-then-reused engine restages into fresh segments.
+        self.executor.stage_shared_weights()
+        return self
+
+    def set_fusion(self, fuse: bool) -> "Int8InferenceEngine":
+        """Switch between fused and strictly unfused plans.
+
+        Keeps the active pins; the swapped-to plan is memoized like any
+        other (``fuse`` is part of every cache key), so A/B-ing fusion is
+        as free as A/B-ing pin specs.  The micro-batcher calls this so
+        ``ServeConfig(fuse=False)`` reaches an engine built fused.
+        """
+        fuse = bool(fuse)
+        if fuse == self.fuse:
+            return self
+        self.fuse = fuse
+        self.executor = self._executor_for(
+            self._active_pins, self._active_rows
         )
         self.executor.stage_shared_weights()
         return self
 
     def close(self) -> None:
-        """Release kernel-backend pools this engine's plan routes to.
+        """Release kernel-backend pools this engine's plans route to.
 
         The engine owns the serving pool lifecycle: closing it shuts down
-        the worker pools (thread or process) of every backend its plan is
-        pinned or configured to use.  Backends restart their pools lazily,
-        so closing a shared backend is safe for other engines — they pay
-        one pool restart, never a wrong answer.  Idempotent.
+        the worker pools (thread or process) of every backend any of its
+        **cached** plans — not just the active one — is pinned or
+        configured to use, which also unlinks the shard segments those
+        plans staged (no shared memory outlives the engine).  Backends
+        restart their pools lazily, so closing a shared backend is safe
+        for other engines — they pay one pool restart, never a wrong
+        answer.  Idempotent.
         """
+        executors = list(getattr(self, "_plan_cache", {}).values())
         executor = getattr(self, "executor", None)
-        if executor is None:
-            return
-        for backend in executor.step_backend_objs():
-            backend.shutdown()
+        if executor is not None and executor not in executors:
+            executors.append(executor)
+        seen = set()
+        for ex in executors:
+            for backend in ex.step_backend_objs():
+                if id(backend) not in seen:
+                    seen.add(id(backend))
+                    backend.shutdown()
 
     def __enter__(self) -> "Int8InferenceEngine":
         return self
@@ -421,10 +534,11 @@ def build_engine(
     bundle: Optional[ModelBundle] = None,
     backend: BackendLike = None,
     pins: Optional[dict] = None,
+    fuse: bool = True,
 ) -> Int8InferenceEngine:
     """Convenience alias for :meth:`Int8InferenceEngine.from_artifact`."""
     return Int8InferenceEngine.from_artifact(
-        artifact, bundle, backend=backend, pins=pins
+        artifact, bundle, backend=backend, pins=pins, fuse=fuse
     )
 
 
