@@ -13,6 +13,7 @@ import sys
 from pathlib import Path
 
 from repro.analysis import ExperimentResult
+from repro.obs import get_registry
 from repro.utils.serialization import save_json
 from repro.utils.sysinfo import machine_meta
 
@@ -55,10 +56,14 @@ def save_experiment(result: ExperimentResult) -> Path:
 
     Every record carries a ``meta`` block (CPU count, NumPy/BLAS build,
     active kernel backend) so wall-clock numbers measured on different
-    machines are distinguishable.
+    machines are distinguishable.  The telemetry registry snapshot rides
+    along as ``meta.obs`` — plan compiles, shard pool churn, serve counters
+    — so a drifted record can be checked for a *behavioural* cause (extra
+    compiles, pool resets) before blaming the machine.
     """
     payload = result.as_dict()
     payload["meta"] = machine_meta()
+    payload["meta"]["obs"] = get_registry().snapshot()
     return save_json(payload, RESULTS_DIR / f"{result.experiment_id}.json")
 
 

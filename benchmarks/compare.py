@@ -55,14 +55,17 @@ def _is_time_key(path: str) -> bool:
         "fused_conv_plan." in lowered
     ):
         return True
+    if "check_ns." in lowered:  # obs_overhead per-call guard timings
+        return True
     leaf = lowered.rsplit(".", 1)[-1]
-    if leaf.endswith(("_ms", "_rps", "_s")):
+    if leaf.endswith(("_ms", "_rps", "_s", "_ns", "_pct")):
         return True
     if leaf in ("p50", "p95", "p99"):
         return True
     return any(
         marker in leaf
-        for marker in ("latency", "throughput", "elapsed", "speedup")
+        for marker in ("latency", "throughput", "elapsed", "speedup",
+                       "overhead")
     )
 
 
@@ -77,6 +80,36 @@ def _is_op_count_key(path: str) -> bool:
     return leaf.startswith(("mac_", "quant_")) or leaf.endswith(
         ("_macs", "_ops")
     )
+
+
+def _obs_context(baseline: dict, fresh: dict) -> List[str]:
+    """Behavioural-counter diffs between two records' ``meta.obs`` blocks.
+
+    When a wall-clock key drifts, the first question is whether the two
+    runs did the same *work*: a record that recompiled plans, restarted a
+    shard pool, or regrew IPC rings is slower for a reason the telemetry
+    names outright.  Only counters are compared — gauges and histograms
+    are point-in-time and load-shaped, so their drift is expected.
+    """
+    base_counters = ((baseline.get("meta") or {}).get("obs") or {}).get(
+        "counters"
+    ) or {}
+    fresh_counters = ((fresh.get("meta") or {}).get("obs") or {}).get(
+        "counters"
+    ) or {}
+    if not base_counters and not fresh_counters:
+        return []
+    lines: List[str] = []
+    for name in sorted(set(base_counters) | set(fresh_counters)):
+        base_value = base_counters.get(name)
+        fresh_value = fresh_counters.get(name)
+        if base_value != fresh_value:
+            shown_base = "absent" if base_value is None else f"{base_value:g}"
+            shown_fresh = (
+                "absent" if fresh_value is None else f"{fresh_value:g}"
+            )
+            lines.append(f"obs {name}: {shown_base} -> {shown_fresh}")
+    return lines
 
 
 def _numeric_leaves(value, path: str = "") -> Iterator[Tuple[str, float]]:
@@ -194,6 +227,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"   !! {line}")
         for line in notes:
             print(f"   .. {line}")
+        if hard:
+            # Telemetry context: did the mismatched run do different work?
+            for line in _obs_context(baseline, fresh):
+                print(f"   >> {line}")
         total_hard += len(hard)
 
     print(

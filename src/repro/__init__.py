@@ -49,7 +49,7 @@ from repro.serve import (
 from repro import runtime
 from repro.training import BPConfig, BPTrainer, make_trainer
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "FFInt8Trainer",

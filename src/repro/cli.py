@@ -1,12 +1,13 @@
 """Command-line interface for the FF-INT8 reproduction.
 
-Five subcommands cover the common workflows::
+Six subcommands cover the common workflows::
 
     python -m repro models                      # architectures + parameter counts
     python -m repro train --model mlp-mini --algorithm FF-INT8 --epochs 20
     python -m repro estimate --model resnet18   # Jetson Orin Nano cost table
     python -m repro export --model mlp-mini --output runs/artifact
-    python -m repro serve-bench --model mlp-mini --requests 256
+    python -m repro serve-bench --model mlp-mini --requests 256 --trace 3
+    python -m repro obs-snapshot --model mlp-mini --requests 64
 
 The CLI is intentionally thin: it wires the public library API together so
 that the same behaviour is scriptable without writing Python.
@@ -23,6 +24,14 @@ import numpy as np
 
 from repro import __version__
 from repro.analysis import format_table
+from repro.obs import (
+    clear_buffer,
+    disable_tracing,
+    enable_tracing,
+    format_trace,
+    get_registry,
+    slowest_traces,
+)
 from repro.core import FFInt8Config, FFInt8Trainer, load_ff_checkpoint, save_ff_checkpoint
 from repro.data import synthetic_cifar10, synthetic_mnist
 from repro.hardware import TrainingCostModel, profile_bundle
@@ -162,8 +171,36 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--no-fuse", action="store_true",
                        help="compile strictly unfused plans (step-per-module "
                             "walk) — the serving A/B baseline for fusion")
+    bench.add_argument("--trace", type=int, default=0, metavar="N",
+                       help="trace every request through the batched phase "
+                            "and print the N slowest request trees "
+                            "(batcher, engine and per-kernel-step spans)")
     bench.add_argument("--output", default=None,
                        help="optional path for a JSON benchmark summary")
+
+    obs = subparsers.add_parser(
+        "obs-snapshot", parents=[common],
+        help="drive traced requests through a micro-batcher and dump the "
+             "telemetry registry (Prometheus exposition text)",
+    )
+    obs.add_argument("--model", default="mlp-mini")
+    obs.add_argument("--artifact", default=None,
+                     help="serve an existing artifact instead of training")
+    obs.add_argument("--dataset", default="mnist", choices=("mnist", "cifar10"))
+    obs.add_argument("--epochs", type=int, default=2,
+                     help="training epochs when no artifact is given")
+    obs.add_argument("--train-samples", type=int, default=96)
+    obs.add_argument("--test-samples", type=int, default=48)
+    obs.add_argument("--image-size", type=int, default=None)
+    obs.add_argument("--requests", type=int, default=64,
+                     help="number of traced requests to serve")
+    obs.add_argument("--max-batch-size", type=int, default=16)
+    obs.add_argument("--max-wait-ms", type=float, default=2.0)
+    obs.add_argument("--trace", type=int, default=1, metavar="N",
+                     help="also print the N slowest request traces "
+                          "(0 disables)")
+    obs.add_argument("--output", default=None,
+                     help="optional path for a JSON registry snapshot")
     return parser
 
 
@@ -412,9 +449,18 @@ def _cmd_serve_bench(args) -> int:
     # The engine owns the kernel-pool lifecycle: leaving this block shuts
     # down any worker pools (threads or shard processes) its plan started.
     with engine, batcher:
-        started = time.perf_counter()
-        batched_labels = batcher.predict_many(list(stream))
-        batched_elapsed = time.perf_counter() - started
+        if args.trace > 0:
+            # Trace only the batched phase so the single-sample baseline
+            # above stays an untouched reference measurement.
+            clear_buffer()
+            enable_tracing(sample=1.0)
+        try:
+            started = time.perf_counter()
+            batched_labels = batcher.predict_many(list(stream))
+            batched_elapsed = time.perf_counter() - started
+        finally:
+            if args.trace > 0:
+                disable_tracing()
         batched_throughput = args.requests / batched_elapsed
         snap = batcher.metrics.snapshot()
 
@@ -450,6 +496,12 @@ def _cmd_serve_bench(args) -> int:
         print(f"adaptive max_wait settled at {batcher.current_wait_ms:.2f} ms "
               f"(bounds [{args.min_wait_ms:.2f}, {args.max_wait_ms:.2f}] ms, "
               f"queue-depth EWMA {snap['queue_depth_ewma']:.1f})")
+    if args.trace > 0:
+        slowest = slowest_traces(args.trace)
+        print(f"\n{len(slowest)} slowest request trace(s) "
+              f"of {args.requests} traced:")
+        for trace in slowest:
+            print(format_trace(trace))
 
     if args.output:
         save_json({
@@ -462,8 +514,54 @@ def _cmd_serve_bench(args) -> int:
             "cache": cache_stats,
             "plan_cache": plan_stats,
             "speedup": speedup,
+            "obs": get_registry().snapshot(),
         }, args.output)
         print(f"benchmark summary written to {args.output}")
+    return 0
+
+
+def _cmd_obs_snapshot(args) -> int:
+    _mini_image_size(args)
+    if args.artifact:
+        artifact = load_artifact(args.artifact)
+        _, test_set = _load_dataset(args)
+    else:
+        artifact, test_set = _train_and_freeze(args)
+    engine = build_engine(artifact, backend=args.backend)
+
+    images = test_set.images
+    indices = np.arange(args.requests) % len(images)
+    stream = images[indices]
+
+    config = ServeConfig(
+        max_batch_size=args.max_batch_size, max_wait_ms=args.max_wait_ms,
+        backend=args.backend,
+    )
+    clear_buffer()
+    enable_tracing(sample=1.0)
+    try:
+        with engine, MicroBatcher(engine, config) as batcher:
+            batcher.predict_many(list(stream))
+    finally:
+        disable_tracing()
+
+    registry = get_registry()
+    print(registry.render_prometheus())
+    if args.trace > 0:
+        slowest = slowest_traces(args.trace)
+        print(f"{len(slowest)} slowest request trace(s) "
+              f"of {args.requests} traced:")
+        for trace in slowest:
+            print(format_trace(trace))
+
+    if args.output:
+        save_json({
+            "model": artifact.metadata["model_name"],
+            "requests": args.requests,
+            "meta": machine_meta(backend=args.backend),
+            "obs": registry.snapshot(),
+        }, args.output)
+        print(f"registry snapshot written to {args.output}")
     return 0
 
 
@@ -483,6 +581,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_export(args)
         if args.command == "serve-bench":
             return _cmd_serve_bench(args)
+        if args.command == "obs-snapshot":
+            return _cmd_obs_snapshot(args)
     return 1
 
 

@@ -37,8 +37,29 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs.registry import get_registry
 from repro.runtime.plan import KernelStep
 from repro.utils.sysinfo import machine_meta, same_machine
+
+# Routing decisions published into the registry: how often in-process
+# calibration ran (each one is ~100 ms a fresh kernel_micro record would
+# have saved), what it cost, and which backend each auto-pinned step
+# actually landed on — the live answer to "where is traffic routed?".
+_OBS = get_registry()
+_CALIBRATIONS = _OBS.counter(
+    "repro_autopin_calibrations_total",
+    help="In-process autopin calibration runs.")
+_CALIBRATION_MS = _OBS.gauge(
+    "repro_autopin_calibration_ms",
+    help="Wall-clock of the most recent autopin calibration, ms.")
+
+
+def _count_pinned_step(backend: str) -> None:
+    _OBS.counter(
+        "repro_autopin_steps_total",
+        help="Plan steps auto-pinned, by winning backend.",
+        backend=backend,
+    ).inc()
 
 #: backends auto-pinning may choose between, in preference order for ties —
 #: all bit-identical, so a wrong pick can only cost time, never a number.
@@ -224,6 +245,7 @@ def calibrate(
         if not getattr(backend, "workers_active", True)
     ]
     measured = False
+    calibration_started = time.perf_counter()
     cases = []
     for rows, reduce_dim, cols in shapes:
         rows_c = max(1, min(int(rows), _CALIBRATE_MAX_ROWS))
@@ -242,6 +264,10 @@ def calibrate(
             _calibration_cache[key] = timings
         cases.append(TimingCase(rows_c, reduce_dim, cols, timings))
     if measured:
+        _CALIBRATIONS.inc()
+        _CALIBRATION_MS.set(
+            (time.perf_counter() - calibration_started) * 1e3
+        )
         for backend in idle_before:
             if getattr(backend, "workers_active", False):
                 # Workers-only teardown: a full shutdown would also unlink
@@ -437,6 +463,8 @@ def autopin_steps(
             pinned.append(step)
             continue
         winner = resolve_backend(r, shape[0], cases, candidates)
+        if winner:
+            _count_pinned_step(winner)
         pinned.append(replace(step, backend=winner) if winner else step)
     return pinned
 

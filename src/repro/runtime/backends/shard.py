@@ -70,9 +70,37 @@ from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs import trace as obs_trace
+from repro.obs.registry import get_registry
 from repro.runtime.backends.fast import exact_f32_possible
 from repro.runtime.backends.parallel import ParallelBackend
 from repro.runtime.backends.reference import rowwise_scales
+
+# Pool/ring/staging health published into the process-wide registry: pool
+# resets are the "worker restarts" signal a future heartbeat loop watches,
+# ring reuse vs grows tells whether the steady-state zero-allocation claim
+# holds in production, staged bytes bound the shared-memory footprint.
+_OBS = get_registry()
+_POOL_STARTS = _OBS.counter(
+    "repro_shard_pool_starts_total", help="Shard worker pools started.")
+_POOL_RESETS = _OBS.counter(
+    "repro_shard_pool_resets_total",
+    help="Shard pools torn down after a worker failure.")
+_WORKERS_GAUGE = _OBS.gauge(
+    "repro_shard_workers", help="Live shard worker processes.")
+_RING_GROWS = _OBS.counter(
+    "repro_shard_ring_grows_total",
+    help="Shared ring segment (re)allocations.")
+_RING_REUSE = _OBS.counter(
+    "repro_shard_ring_reuse_total",
+    help="Sharded calls served entirely from existing ring capacity.")
+_RING_BYTES = _OBS.gauge(
+    "repro_shard_ring_bytes", help="Current ring segment capacity, bytes.")
+_STAGED_SEGMENTS = _OBS.counter(
+    "repro_shard_staged_segments_total",
+    help="Weight segments staged into shared memory.")
+_STAGED_BYTES = _OBS.gauge(
+    "repro_shard_staged_bytes", help="Staged shared weight segments, bytes.")
 
 #: Environment override for the worker-process count (default: CPU count).
 SHARD_WORKERS_ENV_VAR = "REPRO_SHARD_WORKERS"
@@ -271,17 +299,20 @@ def _worker_main(conn, untrack: bool = False,
 class _SharedArray:
     """A parent-owned shared segment holding one staged array."""
 
-    __slots__ = ("shm", "name", "shape", "dtype")
+    __slots__ = ("shm", "name", "shape", "dtype", "nbytes")
 
     def __init__(self, array: np.ndarray) -> None:
         array = np.ascontiguousarray(array)
         self.name = f"repro-shard-{os.getpid()}-{uuid.uuid4().hex[:12]}"
+        self.nbytes = max(1, array.nbytes)
         self.shm = shared_memory.SharedMemory(
-            create=True, size=max(1, array.nbytes), name=self.name
+            create=True, size=self.nbytes, name=self.name
         )
         self.shape = array.shape
         self.dtype = str(array.dtype)
         _view(self.shm, array.shape, array.dtype)[...] = array
+        _STAGED_SEGMENTS.inc()
+        _STAGED_BYTES.inc(self.nbytes)
 
     def close(self, unlink: bool = True) -> None:
         try:
@@ -290,6 +321,9 @@ class _SharedArray:
                 self.shm.unlink()
         except Exception:
             pass
+        if self.nbytes:
+            _STAGED_BYTES.dec(self.nbytes)
+            self.nbytes = 0
 
 
 class _RingSegment:
@@ -308,21 +342,30 @@ class _RingSegment:
         self.name = ""
         self.capacity = 0
 
-    def ensure(self, nbytes: int) -> None:
+    def ensure(self, nbytes: int) -> bool:
+        """Guarantee capacity; True when a (re)allocation was needed.
+
+        The boolean feeds the grow/reuse counters: a healthy steady state
+        is all-reuse, so a growing ``repro_shard_ring_grows_total`` under
+        stable traffic means the zero-allocation claim is not holding.
+        """
         if self.shm is not None and self.capacity >= nbytes:
-            return
+            return False
         if self.shm is not None:
             self.shm.close()
             try:
                 self.shm.unlink()
             except Exception:
                 pass
+            _RING_BYTES.dec(self.capacity)
         capacity = max(1, nbytes, int(self.capacity * 1.5))
         self.name = f"repro-shard-{os.getpid()}-{uuid.uuid4().hex[:12]}"
         self.shm = shared_memory.SharedMemory(
             create=True, size=capacity, name=self.name
         )
         self.capacity = capacity
+        _RING_BYTES.inc(capacity)
+        return True
 
     def view(self, shape, dtype) -> np.ndarray:
         return np.ndarray(shape, dtype=np.dtype(dtype), buffer=self.shm.buf)
@@ -336,6 +379,7 @@ class _RingSegment:
                 self.shm.unlink()
         except Exception:
             pass
+        _RING_BYTES.dec(self.capacity)
         self.shm = None
         self.capacity = 0
 
@@ -451,6 +495,8 @@ class ShardBackend(ParallelBackend):
             workers.append((process, parent_conn))
         self._workers = workers
         self._owner_pid = os.getpid()
+        _POOL_STARTS.inc()
+        _WORKERS_GAUGE.set(len(workers))
         if not self._shard_atexit:
             atexit.register(self.shutdown)
             self._shard_atexit = True
@@ -465,6 +511,8 @@ class ShardBackend(ParallelBackend):
         """
         workers, self._workers = self._workers, []
         self._owner_pid = None
+        if workers:
+            _WORKERS_GAUGE.set(0)
         for process, conn in workers:
             try:
                 conn.send(None)
@@ -669,19 +717,41 @@ class ShardBackend(ParallelBackend):
         qmax: int = 0,
         with_scales: bool = False,
     ):
-        """Scatter row blocks to the workers, compute shard 0 in-parent."""
+        """Scatter row blocks to the workers, compute shard 0 in-parent.
+
+        The whole round-trip — ring staging, scatter, local shard 0,
+        gather — shows up as one ``shard.ipc`` span in a traced request.
+        """
+        with obs_trace.span(
+            "shard.ipc", op=op, rows=int(out_shape[0]), shards=len(shards),
+        ):
+            return self._run_sharded_inner(
+                op, lhs, rhs_staged, out_shape, shards, qmax, with_scales
+            )
+
+    def _run_sharded_inner(
+        self,
+        op: str,
+        lhs: np.ndarray,
+        rhs_staged: _SharedArray,
+        out_shape: Tuple[int, int],
+        shards: List[Tuple[int, int]],
+        qmax: int,
+        with_scales: bool,
+    ):
         workers = self._ensure_pool()
         rings = self._rings
-        rings["in"].ensure(lhs.nbytes)
+        grew = rings["in"].ensure(lhs.nbytes)
         in_view = rings["in"].view(lhs.shape, lhs.dtype)
         in_view[...] = lhs
         out_nbytes = int(np.prod(out_shape, dtype=np.int64)) * 4
-        rings["out"].ensure(out_nbytes)
+        grew |= rings["out"].ensure(out_nbytes)
         out_view = rings["out"].view(out_shape, np.float32)
         scales_view = None
         if with_scales:
-            rings["scales"].ensure(out_shape[0] * 4)
+            grew |= rings["scales"].ensure(out_shape[0] * 4)
             scales_view = rings["scales"].view((out_shape[0],), np.float32)
+        (_RING_GROWS if grew else _RING_REUSE).inc()
         job = {
             "op": op,
             "qmax": int(qmax),
@@ -707,6 +777,7 @@ class ShardBackend(ParallelBackend):
                 # now: that both makes the next call respawn cleanly and
                 # guarantees no already-scattered sibling leaves a stale
                 # ack behind that could desynchronize a reused pool.
+                _POOL_RESETS.inc()
                 self._stop_workers()
                 raise RuntimeError(
                     f"shard worker {process.name} is gone ({error}); pool "
@@ -736,6 +807,7 @@ class ShardBackend(ParallelBackend):
             # A broken pool must not poison every later call: tear the
             # workers down now (staged weights survive) and let the next
             # sharded call respawn a clean pool.
+            _POOL_RESETS.inc()
             self._stop_workers()
             raise RuntimeError(
                 "shard worker failed:\n" + "\n".join(failures)

@@ -24,6 +24,7 @@ every shipped backend is exact.
 from __future__ import annotations
 
 from contextlib import contextmanager
+from time import perf_counter
 from typing import Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
@@ -31,6 +32,7 @@ import numpy as np
 from repro.nn.functional import im2col
 from repro.nn.module import Module
 from repro.nn.norm import _BatchNormBase
+from repro.obs import trace as obs_trace
 from repro.runtime import dispatch, instrument
 from repro.runtime.dispatch import BackendLike
 from repro.runtime.plan import (
@@ -287,20 +289,67 @@ class PlanExecutor:
 
     # ------------------------------------------------------------------ #
     def _run_step(self, step: KernelStep, hidden: np.ndarray) -> np.ndarray:
-        """Execute one plan step (honouring pins and fused fast paths)."""
+        """Execute one plan step (honouring pins and fused fast paths).
+
+        The observability check is two thread-local/module attribute reads;
+        un-observed requests take the original path untouched, which is what
+        keeps tracing-off overhead under the 1% guard.
+        """
+        if obs_trace.has_active_trace() or instrument.step_hooks_active():
+            return self._run_step_observed(step, hidden)
         if step.backend is not None:
             with dispatch.pin_backend(step.backend):
                 return self._execute(step, hidden)
         return self._execute(step, hidden)
 
+    def _run_step_observed(
+        self, step: KernelStep, hidden: np.ndarray
+    ) -> np.ndarray:
+        """Timed variant of :meth:`_run_step`: span + ``on_step`` emission.
+
+        Runs the *same* execution path — including fused kernels, because
+        step hooks live outside the unfusing registry — and attributes each
+        step to the backend that actually ran it (the pin, the executor
+        selection, or the ambient default, resolved inside the pin context).
+        """
+        rows = int(hidden.shape[0])
+        cols = int(np.prod(hidden.shape[1:])) if hidden.ndim > 1 else 1
+        name = f"unit{step.unit_index}.{step.kind}"
+        with obs_trace.span(name, rows=rows, cols=cols) as attrs:
+            start_s = perf_counter()
+            if step.backend is not None:
+                with dispatch.pin_backend(step.backend):
+                    backend_name = dispatch.active_backend().name
+                    fused = self._step_runs_fused(step)
+                    out = self._execute(step, hidden)
+            else:
+                backend_name = dispatch.active_backend().name
+                fused = self._step_runs_fused(step)
+                out = self._execute(step, hidden)
+            duration_ms = (perf_counter() - start_s) * 1e3
+            attrs["backend"] = backend_name
+            attrs["fused"] = fused
+        if instrument.step_hooks_active():
+            instrument.emit_step(step, duration_ms, backend_name, rows)
+        return out
+
+    def _step_runs_fused(self, step: KernelStep) -> bool:
+        """Will ``_execute`` run this step through the fused kernels?
+
+        Must be asked with the step's backend pin already applied — the
+        answer depends on the *active* backend's fusion support.
+        """
+        return (
+            step.kind == "fused"
+            and getattr(dispatch.active_backend(), "supports_fusion", False)
+            and not instrument.hooks_active()
+            and not _fused_fallback_required(step)
+        )
+
     def _execute(self, step: KernelStep, hidden: np.ndarray) -> np.ndarray:
         if step.kind != "fused":
             return step.module(hidden)
-        if (
-            not getattr(dispatch.active_backend(), "supports_fusion", False)
-            or instrument.hooks_active()
-            or _fused_fallback_required(step)
-        ):
+        if not self._step_runs_fused(step):
             for sub in step.fused:
                 hidden = sub.module(hidden)
             return hidden

@@ -16,6 +16,14 @@ unchanged by fusion.
 :class:`OpCounts` (formerly ``repro.quant.int8_ops.OpCounts``, re-exported
 there for compatibility) is the canonical counter record;
 :class:`OpCountingHook` adapts it to the hook protocol.
+
+Step timing lives in a **separate registry** (:func:`register_step_hook`):
+``on_step`` observes each executed :class:`~repro.runtime.plan.KernelStep`
+with its wall-clock duration and the backend that ran it, *without*
+counting as an "active hook" — so a registered :class:`StepTimingHook`
+never forces the executor off the fused path the way per-module observers
+do.  That separation is the point: timing must measure the plan the
+process actually serves, fusion included.
 """
 
 from __future__ import annotations
@@ -23,7 +31,7 @@ from __future__ import annotations
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Iterator, List, Optional
+from typing import Any, Dict, Iterator, Optional, Tuple
 
 
 @dataclass
@@ -88,6 +96,15 @@ class Instrumentation:
     def on_module(self, module: Any, inputs: Any, output: Any) -> None:
         """A module's forward completed (fires for every ``Module.__call__``)."""
 
+    def on_step(self, step: Any, duration_ms: float, backend: str,
+                rows: int) -> None:
+        """A plan :class:`~repro.runtime.plan.KernelStep` finished executing.
+
+        Fires only for hooks attached via :func:`register_step_hook`; unlike
+        the events above it does not disturb fusion, so ``duration_ms`` is
+        the time of the step as actually served (fused or not).
+        """
+
 
 class OpCountingHook(Instrumentation):
     """Adapt an :class:`OpCounts` record to the instrumentation protocol.
@@ -128,9 +145,13 @@ class OpCountingHook(Instrumentation):
 # hook registry
 # --------------------------------------------------------------------------- #
 # Hooks are global (not thread-local) so that a profiler wrapped around a
-# multi-threaded serving engine still observes worker-thread kernels; the
-# list is tiny and mutated only at registration time.
-_HOOKS: List[Instrumentation] = []
+# multi-threaded serving engine still observes worker-thread kernels.  The
+# registry is an immutable tuple rebound atomically under the lock: emit
+# paths iterate whatever tuple they loaded, so a concurrent unregister on
+# another thread can never make them skip or double-fire a hook mid-walk
+# (mutating a shared list while iterating it could do both).
+_HOOKS: Tuple[Instrumentation, ...] = ()
+_STEP_HOOKS: Tuple[Instrumentation, ...] = ()
 _REGISTRY_LOCK = threading.Lock()
 
 
@@ -141,18 +162,20 @@ def hooks_active() -> bool:
 
 def register_hook(hook: Instrumentation) -> Instrumentation:
     """Attach an instrumentation hook to the dispatch layer."""
+    global _HOOKS
     with _REGISTRY_LOCK:
-        _HOOKS.append(hook)
+        _HOOKS = _HOOKS + (hook,)
     return hook
 
 
 def unregister_hook(hook: Instrumentation) -> None:
     """Detach a previously registered hook (no-op if absent)."""
+    global _HOOKS
     with _REGISTRY_LOCK:
-        try:
-            _HOOKS.remove(hook)
-        except ValueError:
-            pass
+        if hook in _HOOKS:
+            hooks = list(_HOOKS)
+            hooks.remove(hook)
+            _HOOKS = tuple(hooks)
 
 
 @contextmanager
@@ -171,6 +194,109 @@ def counting(counts: Optional[OpCounts] = None) -> Iterator[OpCounts]:
     hook = OpCountingHook(counts)
     with instrumented(hook):
         yield hook.counts
+
+
+# --------------------------------------------------------------------------- #
+# step-timing registry (does NOT force unfusing)
+# --------------------------------------------------------------------------- #
+def step_hooks_active() -> bool:
+    """Cheap executor guard: is anyone listening for step timings?"""
+    return bool(_STEP_HOOKS)
+
+
+def register_step_hook(hook: Instrumentation) -> Instrumentation:
+    """Attach a hook that receives ``on_step`` events.
+
+    Deliberately a separate registry from :func:`register_hook`: step hooks
+    do not flip :func:`hooks_active`, so the executor keeps running fused
+    steps fused and the timings describe production execution.
+    """
+    global _STEP_HOOKS
+    with _REGISTRY_LOCK:
+        _STEP_HOOKS = _STEP_HOOKS + (hook,)
+    return hook
+
+
+def unregister_step_hook(hook: Instrumentation) -> None:
+    """Detach a step-timing hook (no-op if absent)."""
+    global _STEP_HOOKS
+    with _REGISTRY_LOCK:
+        if hook in _STEP_HOOKS:
+            hooks = list(_STEP_HOOKS)
+            hooks.remove(hook)
+            _STEP_HOOKS = tuple(hooks)
+
+
+@contextmanager
+def step_timing(hook: Optional["StepTimingHook"] = None
+                ) -> Iterator["StepTimingHook"]:
+    """Collect per-step timings for the duration of the block."""
+    hook = hook if hook is not None else StepTimingHook()
+    register_step_hook(hook)
+    try:
+        yield hook
+    finally:
+        unregister_step_hook(hook)
+
+
+@dataclass
+class StepTiming:
+    """Aggregate wall-clock for one (step name, backend) pair."""
+
+    calls: int = 0
+    total_ms: float = 0.0
+    max_ms: float = 0.0
+    rows: int = 0
+
+
+class StepTimingHook(Instrumentation):
+    """Aggregate per-step wall-clock by ``(step name, backend)``.
+
+    Register through :func:`register_step_hook` (or the :func:`step_timing`
+    context manager) — never :func:`register_hook` — so measuring does not
+    change what is measured: fused steps stay fused and the aggregates
+    describe the plan as served.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._timings: Dict[Tuple[str, str], StepTiming] = {}
+
+    def on_step(self, step: Any, duration_ms: float, backend: str,
+                rows: int) -> None:
+        name = getattr(step, "describe", lambda: str(step))()
+        key = (name, backend)
+        with self._lock:
+            timing = self._timings.get(key)
+            if timing is None:
+                timing = self._timings[key] = StepTiming()
+            timing.calls += 1
+            timing.total_ms += duration_ms
+            timing.max_ms = max(timing.max_ms, duration_ms)
+            timing.rows += rows
+
+    def timings(self) -> Dict[Tuple[str, str], StepTiming]:
+        """Snapshot of the aggregates keyed by (step name, backend)."""
+        with self._lock:
+            return {
+                key: StepTiming(timing.calls, timing.total_ms,
+                                timing.max_ms, timing.rows)
+                for key, timing in self._timings.items()
+            }
+
+    def format_report(self) -> str:
+        """Human-readable table, slowest aggregate first."""
+        rows = sorted(
+            self.timings().items(), key=lambda item: -item[1].total_ms
+        )
+        lines = [f"{'step':<40} {'backend':<10} {'calls':>6} "
+                 f"{'total ms':>10} {'max ms':>9}"]
+        for (name, backend), timing in rows:
+            lines.append(
+                f"{name:<40.40} {backend:<10} {timing.calls:>6} "
+                f"{timing.total_ms:>10.3f} {timing.max_ms:>9.3f}"
+            )
+        return "\n".join(lines)
 
 
 # --------------------------------------------------------------------------- #
@@ -206,17 +332,31 @@ def emit_module(module: Any, inputs: Any, output: Any) -> None:
         hook.on_module(module, inputs, output)
 
 
+def emit_step(step: Any, duration_ms: float, backend: str,
+              rows: int) -> None:
+    """Record a timed plan step (guard with :func:`step_hooks_active`)."""
+    for hook in _STEP_HOOKS:
+        hook.on_step(step, duration_ms, backend, rows)
+
+
 __all__ = [
     "OpCounts",
     "Instrumentation",
     "OpCountingHook",
+    "StepTiming",
+    "StepTimingHook",
     "hooks_active",
     "register_hook",
     "unregister_hook",
     "instrumented",
     "counting",
+    "step_hooks_active",
+    "register_step_hook",
+    "unregister_step_hook",
+    "step_timing",
     "emit_int8_macs",
     "emit_fp32_macs",
     "emit_quantize",
     "emit_module",
+    "emit_step",
 ]

@@ -31,6 +31,8 @@ from typing import Callable, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.obs import trace as obs_trace
+from repro.obs.registry import get_registry
 from repro.runtime.dispatch import use_backend
 from repro.serve.cache import PredictionCache, input_digest
 from repro.serve.config import ServeConfig
@@ -45,14 +47,16 @@ _RETIRE = object()
 class _Request:
     """One queued sample together with its completion future."""
 
-    __slots__ = ("sample", "key", "future", "enqueued_at")
+    __slots__ = ("sample", "key", "future", "enqueued_at", "trace")
 
     def __init__(self, sample: np.ndarray, key: Optional[str],
-                 enqueued_at: float) -> None:
+                 enqueued_at: float,
+                 trace: Optional[obs_trace.Trace] = None) -> None:
         self.sample = sample
         self.key = key
         self.future: "Future[object]" = Future()
         self.enqueued_at = enqueued_at
+        self.trace = trace
 
 
 class MicroBatcher:
@@ -149,6 +153,19 @@ class MicroBatcher:
         self._last_scale_at = 0.0
         self._scale_ups = 0
         self._scale_downs = 0
+        # Autoscaling state published into the observability registry: the
+        # live worker count, the adaptive window, and scale events — the
+        # signals that show whether the EWMA policy is doing its job.
+        registry = get_registry()
+        self._obs_workers = registry.gauge(
+            "repro_serve_workers", help="Live serve worker threads.")
+        self._obs_wait_ms = registry.gauge(
+            "repro_serve_wait_window_ms",
+            help="Current adaptive coalescing window, ms.")
+        self._obs_scale_ups = registry.counter(
+            "repro_serve_scale_ups_total", help="Worker scale-up events.")
+        self._obs_scale_downs = registry.counter(
+            "repro_serve_scale_downs_total", help="Worker scale-down events.")
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -162,6 +179,7 @@ class MicroBatcher:
         )
         self._worker_seq += 1
         self._threads.append(thread)
+        self._obs_workers.set(len(self._threads))
         thread.start()
 
     def start(self) -> "MicroBatcher":
@@ -181,6 +199,7 @@ class MicroBatcher:
                 return
             self._running = False
             threads, self._threads = self._threads, []
+            self._obs_workers.set(0)
         for _ in threads:
             self._queue.put(_SHUTDOWN)
         for thread in threads:
@@ -209,30 +228,62 @@ class MicroBatcher:
     # request API
     # ------------------------------------------------------------------ #
     def submit(self, sample: np.ndarray) -> "Future[object]":
-        """Enqueue one sample; returns a future resolving to its label."""
+        """Enqueue one sample; returns a future resolving to its label.
+
+        When tracing is enabled and this request is sampled, its whole life
+        — cache/dedup verdicts here, the coalesce wait, the engine pass and
+        every kernel step under it — lands in one trace; otherwise the
+        ``trace is None`` branches cost one comparison each.
+        """
         if not self._running:
             self.start()
+        trace = obs_trace.maybe_trace("serve.request")
         sample = np.asarray(sample, dtype=np.float32)
         key: Optional[str] = None
         if self.cache.capacity > 0 or self.config.dedup_inflight:
             key = input_digest(sample)
         if key is not None and self.cache.capacity > 0:
+            lookup_started = time.perf_counter() if trace is not None else 0.0
             hit = self.cache.get(key)
+            if trace is not None:
+                trace.record_span(
+                    "batcher.cache", lookup_started, time.perf_counter(),
+                    hit=hit is not None,
+                )
             if hit is not None:
                 self.metrics.record_cached()
+                if trace is not None:
+                    obs_trace.finish_trace(trace)
                 future: "Future[object]" = Future()
                 future.set_result(hit)
                 return future
-        request = _Request(sample, key, time.perf_counter())
+        request = _Request(sample, key, time.perf_counter(), trace=trace)
         if key is not None and self.config.dedup_inflight:
             with self._pending_lock:
                 existing = self._pending.get(key)
                 if existing is not None:
                     self.metrics.record_deduped()
+                    if trace is not None:
+                        now = time.perf_counter()
+                        trace.record_span(
+                            "batcher.dedup", request.enqueued_at, now,
+                            coalesced_onto=(
+                                existing.trace.trace_id
+                                if existing.trace is not None else None
+                            ),
+                        )
+                        obs_trace.finish_trace(trace)
                     return existing.future
                 self._pending[key] = request
-        self.metrics.record_enqueue(self._queue.qsize())
+        depth = self._queue.qsize()
+        self.metrics.record_enqueue(depth)
         self._queue.put(request)
+        if trace is not None:
+            now = time.perf_counter()
+            trace.record_span(
+                "batcher.enqueue", request.enqueued_at, now,
+                queue_depth=depth,
+            )
         return request.future
 
     def predict(self, sample: np.ndarray, timeout: Optional[float] = None) -> int:
@@ -328,6 +379,8 @@ class MicroBatcher:
                     # Counted here, at consumption: tokens swallowed at the
                     # floor must not show up as scale-downs in the report.
                     self._scale_downs += 1
+                    self._obs_scale_downs.inc()
+                    self._obs_workers.set(len(self._threads))
                     return True
         return False
 
@@ -365,6 +418,7 @@ class MicroBatcher:
             ):
                 self._spawn_worker_locked()
                 self._scale_ups += 1
+                self._obs_scale_ups.inc()
                 self._last_scale_at = now
                 return
             if (
@@ -390,6 +444,7 @@ class MicroBatcher:
         # Clamp: the interpolation can land an ulp outside the bounds.
         wait = min(max(wait, config.min_wait_s), config.max_wait_s)
         self._current_wait_s = wait
+        self._obs_wait_ms.set(1000.0 * wait)
         return wait
 
     def _gather_batch(self, first: _Request) -> List[_Request]:
@@ -423,16 +478,39 @@ class MicroBatcher:
 
     def _serve_batch(self, batch: List[_Request]) -> None:
         inputs = np.stack([request.sample for request in batch])
+        # Traced requests get a coalesce-wait span; the first of them
+        # "leads" the batch — the engine pass runs bound to its trace, so
+        # per-KernelStep spans nest under its engine.predict.  The other
+        # traced riders get a shared engine.predict span pointing at the
+        # leader, since one engine pass served them all.
+        traced = [request for request in batch if request.trace is not None]
+        gathered = time.perf_counter() if traced else 0.0
+        for request in traced:
+            request.trace.record_span(
+                "batcher.coalesce_wait", request.enqueued_at, gathered,
+                batch_size=len(batch),
+            )
+        leader = traced[0] if traced else None
         try:
             # Worker threads do not inherit the submitter's thread-local
             # backend override, so the config's backend selection is applied
             # here (None defers to the ambient runtime default).
             with use_backend(getattr(self.config, "backend", None)):
-                labels = self._predict(inputs)
+                if leader is not None:
+                    with obs_trace.use_trace(leader.trace):
+                        with obs_trace.span(
+                            "engine.predict", batch_size=len(batch)
+                        ):
+                            labels = self._predict(inputs)
+                else:
+                    labels = self._predict(inputs)
         except BaseException as error:  # propagate to every waiting client
             for request in batch:
                 request.future.set_exception(error)
                 self._release_pending(request)
+            for request in traced:
+                request.trace.attrs["error"] = type(error).__name__
+                obs_trace.finish_trace(request.trace)
             return
         finished = time.perf_counter()
         labels = np.asarray(labels)
@@ -446,3 +524,11 @@ class MicroBatcher:
                 self.cache.put(request.key, value)
             request.future.set_result(value)
             self._release_pending(request)
+        for request in traced:
+            if request is not leader:
+                request.trace.record_span(
+                    "engine.predict", gathered, finished,
+                    batch_size=len(batch),
+                    shared_with_trace=leader.trace.trace_id,
+                )
+            obs_trace.finish_trace(request.trace)

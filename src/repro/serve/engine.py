@@ -36,8 +36,18 @@ from repro.models.base import ModelBundle
 from repro.models.registry import build_model
 from repro.nn.module import Module
 from repro.nn.norm import _BatchNormBase
+from repro.obs import trace as obs_trace
+from repro.obs.registry import get_registry
 from repro.quant.int8_ops import OpCounts
 from repro.runtime import dispatch
+
+# Plan-memoization traffic published into the observability registry: a
+# rising compile count under steady traffic means cache keys are churning
+# (pins or fusion flapping), which is a serving-latency bug.
+_OBS_PLAN_COMPILES = get_registry().counter(
+    "repro_plan_compiles_total", help="Execution plans compiled.")
+_OBS_PLAN_CACHE_HITS = get_registry().counter(
+    "repro_plan_cache_hits_total", help="Plan-cache hits.")
 from repro.runtime.backends import exact_f32_possible
 from repro.runtime.dispatch import BackendLike
 from repro.runtime.executor import PlanExecutor
@@ -401,6 +411,7 @@ class Int8InferenceEngine:
         executor = self._plan_cache.get(key)
         if executor is not None:
             self._plan_cache_hits += 1
+            _OBS_PLAN_CACHE_HITS.inc()
             return executor
         executor = PlanExecutor.for_units(
             self.units, flatten_input=self.flatten_input,
@@ -411,6 +422,7 @@ class Int8InferenceEngine:
             ),
         )
         self._plan_compiles += 1
+        _OBS_PLAN_COMPILES.inc()
         self._plan_cache[key] = executor
         return executor
 
@@ -521,7 +533,22 @@ class Int8InferenceEngine:
         )
 
     def predict(self, inputs: np.ndarray) -> np.ndarray:
-        """Predicted labels for a batch of raw (un-overlaid) inputs."""
+        """Predicted labels for a batch of raw (un-overlaid) inputs.
+
+        When tracing is on and the caller did not already bind a request
+        trace (the micro-batcher does), a sampled direct call becomes its
+        own root trace, so per-step spans are captured for un-batched
+        engine use too.  Tracing off costs one module-flag read.
+        """
+        if obs_trace.tracing_enabled() and not obs_trace.has_active_trace():
+            trace = obs_trace.maybe_trace(
+                "engine.predict", batch=int(np.asarray(inputs).shape[0])
+            )
+            if trace is not None:
+                with obs_trace.use_trace(trace):
+                    labels = np.argmax(self.goodness_matrix(inputs), axis=1)
+                obs_trace.finish_trace(trace)
+                return labels
         return np.argmax(self.goodness_matrix(inputs), axis=1)
 
     def predict_one(self, sample: np.ndarray) -> int:

@@ -1,14 +1,26 @@
 """Serving metrics: latency percentiles, throughput and queue-depth stats.
 
-The serving stack is judged by tail latency, not by mean throughput alone, so
-the collector keeps every per-request latency and derives p50/p95/p99 on
-demand.  At serving-benchmark scale (thousands of requests) the raw samples
-are tiny compared to the model, and exact percentiles are worth more than a
-streaming sketch.
+The serving stack is judged by tail latency, not by mean throughput alone.
+The collector keeps a bounded **reservoir** of per-request latencies: below
+the cap (default 8192 samples) percentiles are exact; above it the
+reservoir is a uniform random sample of everything seen (Algorithm R with a
+fixed seed), so percentiles become an unbiased approximation while counts,
+means and maxima stay exact from running aggregates.  The cap is what makes
+a long-lived serving process safe — the previous design kept every sample
+and grew without bound under sustained traffic.
+
+Every collector also publishes into the process-wide observability
+registry (:mod:`repro.obs.registry`): request/batch/cache/dedup counters, a
+fixed-bucket latency histogram, and the queue-depth EWMA gauge — the
+scrapeable view (`repro_serve_*`) of the same traffic this object
+summarizes per-report.  Registry writes happen per *batch*, outside this
+collector's lock, so the hot path pays one histogram fold per dispatch, not
+per request.
 """
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 from typing import Dict, List, Optional, Sequence
@@ -16,8 +28,13 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.analysis import format_table
+from repro.obs.registry import MetricsRegistry, get_registry
 
 PERCENTILES = (50.0, 95.0, 99.0)
+
+#: default reservoir capacity: exact percentiles for every benchmark-scale
+#: run, a few hundred KB at most for a long-lived server.
+DEFAULT_SAMPLE_CAP = 8192
 
 
 def latency_percentiles(
@@ -32,29 +49,109 @@ def latency_percentiles(
     }
 
 
+class _Reservoir:
+    """Bounded uniform sample with exact running count/sum/max.
+
+    Algorithm R: the first ``cap`` values are kept verbatim (exact
+    percentiles); from then on value ``n`` replaces a random slot with
+    probability ``cap/n``, keeping the sample uniform over everything seen.
+    The RNG is seeded, so runs are reproducible.  Not thread-safe — the
+    owning collector serializes access under its own lock.
+    """
+
+    __slots__ = ("cap", "count", "total", "peak", "_samples", "_rng")
+
+    def __init__(self, cap: int, seed: int = 0) -> None:
+        if cap < 1:
+            raise ValueError(f"reservoir cap must be >= 1, got {cap}")
+        self.cap = int(cap)
+        self.count = 0
+        self.total = 0.0
+        self.peak = 0.0
+        self._samples: List[float] = []
+        self._rng = random.Random(seed)
+
+    def add(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.count == 1 or value > self.peak:
+            self.peak = value
+        if len(self._samples) < self.cap:
+            self._samples.append(value)
+            return
+        slot = self._rng.randrange(self.count)
+        if slot < self.cap:
+            self._samples[slot] = value
+
+    def extend(self, values: Sequence[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    def samples(self) -> List[float]:
+        return list(self._samples)
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def clear(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.peak = 0.0
+        self._samples.clear()
+
+
 class ServeMetrics:
     """Thread-safe collector for the micro-batching inference service.
 
     ``ewma_alpha`` weights the exponentially-weighted moving average of the
     sampled queue depths — the load signal the micro-batcher's adaptive
     coalescing window feeds on (higher alpha reacts faster, lower alpha
-    smooths bursts).
+    smooths bursts).  ``sample_cap`` bounds the latency/batch/queue
+    reservoirs (memory stays O(cap) forever; percentiles are exact below
+    the cap and uniformly sampled above it).  ``registry`` is the
+    observability registry the collector publishes counters into; it
+    defaults to the process-wide one.
     """
 
-    def __init__(self, clock=time.perf_counter, ewma_alpha: float = 0.2) -> None:
+    def __init__(
+        self,
+        clock=time.perf_counter,
+        ewma_alpha: float = 0.2,
+        sample_cap: int = DEFAULT_SAMPLE_CAP,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         if not 0.0 < ewma_alpha <= 1.0:
             raise ValueError(f"ewma_alpha must be in (0, 1], got {ewma_alpha}")
         self._clock = clock
         self._ewma_alpha = float(ewma_alpha)
         self._lock = threading.Lock()
-        self._latencies_ms: List[float] = []
-        self._batch_sizes: List[int] = []
-        self._queue_depths: List[int] = []
+        self.sample_cap = int(sample_cap)
+        self._latencies = _Reservoir(self.sample_cap)
+        self._batch_sizes = _Reservoir(self.sample_cap)
+        self._queue_depths = _Reservoir(self.sample_cap)
         self._queue_depth_ewma = 0.0
+        self._batches = 0
         self._cached_requests = 0
         self._deduped_requests = 0
         self._first_ts: Optional[float] = None
         self._last_ts: Optional[float] = None
+        registry = registry if registry is not None else get_registry()
+        self._obs_requests = registry.counter(
+            "repro_serve_requests_total", help="Requests answered.")
+        self._obs_batches = registry.counter(
+            "repro_serve_batches_total", help="Engine batches dispatched.")
+        self._obs_cached = registry.counter(
+            "repro_serve_cached_total",
+            help="Requests served from the prediction cache.")
+        self._obs_deduped = registry.counter(
+            "repro_serve_deduped_total",
+            help="Requests coalesced onto identical in-flight ones.")
+        self._obs_latency = registry.histogram(
+            "repro_serve_latency_ms", help="Per-request latency, ms.")
+        self._obs_queue_ewma = registry.gauge(
+            "repro_serve_queue_depth_ewma",
+            help="EWMA of the sampled batcher queue depth.")
 
     # ------------------------------------------------------------------ #
     # recording
@@ -71,7 +168,7 @@ class ServeMetrics:
         with self._lock:
             if self._first_ts is None:
                 self._first_ts = self._clock()
-            self._queue_depths.append(int(queue_depth))
+            self._queue_depths.add(int(queue_depth))
             self._fold_queue_depth_locked(queue_depth)
 
     def observe_queue_depth(self, queue_depth: int) -> None:
@@ -85,6 +182,8 @@ class ServeMetrics:
         """
         with self._lock:
             self._fold_queue_depth_locked(queue_depth)
+            ewma = self._queue_depth_ewma
+        self._obs_queue_ewma.set(ewma)
 
     def queue_depth_ewma(self) -> float:
         """Current exponentially-weighted moving average of the queue depth."""
@@ -94,12 +193,21 @@ class ServeMetrics:
     def record_batch(self, latencies_ms: Sequence[float]) -> None:
         """Record one dispatched engine batch and its per-request latencies."""
         now = self._clock()
+        latencies = [float(value) for value in latencies_ms]
         with self._lock:
             if self._first_ts is None:
                 self._first_ts = now
             self._last_ts = now
-            self._batch_sizes.append(len(latencies_ms))
-            self._latencies_ms.extend(float(value) for value in latencies_ms)
+            self._batches += 1
+            self._batch_sizes.add(len(latencies))
+            self._latencies.extend(latencies)
+            ewma = self._queue_depth_ewma
+        # Registry publication outside the lock: one counter add, one
+        # histogram fold and one gauge write per dispatched batch.
+        self._obs_requests.inc(len(latencies))
+        self._obs_batches.inc()
+        self._obs_latency.observe_many(latencies)
+        self._obs_queue_ewma.set(ewma)
 
     def record_cached(self, latency_ms: float = 0.0) -> None:
         """Record a request answered straight from the prediction cache."""
@@ -109,7 +217,10 @@ class ServeMetrics:
                 self._first_ts = now
             self._last_ts = now
             self._cached_requests += 1
-            self._latencies_ms.append(float(latency_ms))
+            self._latencies.add(float(latency_ms))
+        self._obs_requests.inc()
+        self._obs_cached.inc()
+        self._obs_latency.observe(float(latency_ms))
 
     def record_deduped(self) -> None:
         """Record a request coalesced onto an identical in-flight one.
@@ -119,14 +230,16 @@ class ServeMetrics:
         """
         with self._lock:
             self._deduped_requests += 1
+        self._obs_deduped.inc()
 
     def reset(self) -> None:
-        """Drop all recorded samples."""
+        """Drop all recorded samples (registry counters keep accumulating)."""
         with self._lock:
-            self._latencies_ms.clear()
+            self._latencies.clear()
             self._batch_sizes.clear()
             self._queue_depths.clear()
             self._queue_depth_ewma = 0.0
+            self._batches = 0
             self._cached_requests = 0
             self._deduped_requests = 0
             self._first_ts = None
@@ -136,11 +249,24 @@ class ServeMetrics:
     # derived statistics
     # ------------------------------------------------------------------ #
     def snapshot(self) -> Dict[str, float]:
-        """Aggregate statistics over everything recorded so far."""
+        """Aggregate statistics over everything recorded so far.
+
+        Counts, means and maxima come from exact running aggregates;
+        latency percentiles come from the reservoir — exact while the
+        request count is within ``sample_cap``, a uniform-sample
+        approximation beyond it (``latency_samples`` vs ``requests`` tells
+        which regime a snapshot is in).
+        """
         with self._lock:
-            latencies = list(self._latencies_ms)
-            batch_sizes = list(self._batch_sizes)
-            queue_depths = list(self._queue_depths)
+            requests = self._latencies.count
+            latency_mean = self._latencies.mean()
+            latency_max = self._latencies.peak
+            latency_samples = self._latencies.samples()
+            batches = self._batches
+            batch_mean = self._batch_sizes.mean()
+            batch_max = self._batch_sizes.peak
+            depth_mean = self._queue_depths.mean()
+            depth_max = self._queue_depths.peak
             queue_ewma = self._queue_depth_ewma
             cached = self._cached_requests
             deduped = self._deduped_requests
@@ -148,23 +274,24 @@ class ServeMetrics:
 
         elapsed_s = (last_ts - first_ts) if (first_ts is not None and
                                              last_ts is not None) else 0.0
-        requests = len(latencies)
         summary: Dict[str, float] = {
             "requests": float(requests),
-            "batches": float(len(batch_sizes)),
+            "batches": float(batches),
             "cached_requests": float(cached),
             "deduped_requests": float(deduped),
             "elapsed_s": float(elapsed_s),
             "throughput_rps": requests / elapsed_s if elapsed_s > 0 else 0.0,
-            "mean_batch_size": float(np.mean(batch_sizes)) if batch_sizes else 0.0,
-            "max_batch_size": float(max(batch_sizes)) if batch_sizes else 0.0,
-            "mean_queue_depth": float(np.mean(queue_depths)) if queue_depths else 0.0,
-            "max_queue_depth": float(max(queue_depths)) if queue_depths else 0.0,
+            "mean_batch_size": float(batch_mean),
+            "max_batch_size": float(batch_max),
+            "mean_queue_depth": float(depth_mean),
+            "max_queue_depth": float(depth_max),
             "queue_depth_ewma": float(queue_ewma),
-            "mean_latency_ms": float(np.mean(latencies)) if latencies else 0.0,
-            "max_latency_ms": float(max(latencies)) if latencies else 0.0,
+            "mean_latency_ms": float(latency_mean),
+            "max_latency_ms": float(latency_max),
+            "latency_samples": float(len(latency_samples)),
+            "sample_cap": float(self.sample_cap),
         }
-        summary.update(latency_percentiles(latencies))
+        summary.update(latency_percentiles(latency_samples))
         return summary
 
     def format_report(
@@ -181,6 +308,7 @@ class ServeMetrics:
         coalescing window).
         """
         snap = self.snapshot()
+        approx = snap["latency_samples"] < snap["requests"]
         rows = [
             ["requests", snap["requests"]],
             ["batches dispatched", snap["batches"]],
@@ -193,6 +321,12 @@ class ServeMetrics:
             ["latency p95 (ms)", snap["p95"]],
             ["latency p99 (ms)", snap["p99"]],
             ["latency max (ms)", snap["max_latency_ms"]],
+            [
+                "latency samples"
+                + (" (reservoir, approx pcts)" if approx else " (exact pcts)"),
+                snap["latency_samples"],
+            ],
+            ["latency sample cap", snap["sample_cap"]],
         ]
         if cache_stats is not None:
             rows.append(["cache hit rate", float(cache_stats["hit_rate"])])

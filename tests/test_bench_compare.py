@@ -104,6 +104,42 @@ class TestCompareRecord:
         hard, _, match = compare.compare_record(base, fresh, 1.0)
         assert match and hard == []
 
+    def test_overhead_pct_keys_count_as_wall_clock(self):
+        # obs_overhead records percentages and per-call nanoseconds that
+        # jitter like any timing; they must ride the band, not the 1e-6
+        # structural check.
+        base = _record({"disabled_overhead_pct": 0.32,
+                        "check_ns": {"maybe_trace": 71.0}})
+        fresh = _record({"disabled_overhead_pct": 0.45,
+                         "check_ns": {"maybe_trace": 95.0}})
+        hard, _, _ = compare.compare_record(base, fresh, 1.0)
+        assert hard == []
+
+
+class TestObsContext:
+    def _with_obs(self, counters):
+        meta = machine_meta()
+        meta["obs"] = {"counters": counters, "gauges": {}, "histograms": {}}
+        return _record({"elapsed_s": 1.0}, meta=meta)
+
+    def test_counter_drift_is_reported(self):
+        base = self._with_obs({"repro_plan_compiles_total": 1,
+                               "repro_shard_pool_resets_total": 0})
+        fresh = self._with_obs({"repro_plan_compiles_total": 3,
+                                "repro_shard_pool_resets_total": 0})
+        lines = compare._obs_context(base, fresh)
+        assert lines == ["obs repro_plan_compiles_total: 1 -> 3"]
+
+    def test_absent_counters_are_named(self):
+        base = _record({"elapsed_s": 1.0})  # pre-obs record: no meta.obs
+        fresh = self._with_obs({"repro_plan_compiles_total": 2})
+        lines = compare._obs_context(base, fresh)
+        assert lines == ["obs repro_plan_compiles_total: absent -> 2"]
+
+    def test_no_obs_blocks_is_silent(self):
+        base = _record({"elapsed_s": 1.0})
+        assert compare._obs_context(base, base) == []
+
 
 class TestCompareMain:
     def _write(self, directory, name, record):

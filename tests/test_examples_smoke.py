@@ -132,6 +132,25 @@ def test_edge_device_budget_runs(monkeypatch, capsys):
     assert len(out.splitlines()) > 3
 
 
+def test_obs_quickstart_runs(monkeypatch, capsys):
+    module = _load_example("obs_quickstart")
+    monkeypatch.setattr(module, "synthetic_mnist",
+                        _shrunk(module.synthetic_mnist))
+    monkeypatch.setattr(sys, "argv",
+                        ["obs_quickstart.py", "--epochs", "2",
+                         "--requests", "32", "--max-batch-size", "16"])
+    module.main()
+    out = capsys.readouterr().out
+    assert "slowest of 32 traced requests" in out
+    assert "serve.request" in out
+    assert "engine.predict" in out
+    assert "backend=" in out
+    assert "Prometheus exposition" in out
+    # tracing must be switched back off for whatever runs next
+    from repro.obs import tracing_enabled
+    assert not tracing_enabled()
+
+
 def test_serve_quickstart_runs(monkeypatch, capsys):
     module = _load_example("serve_quickstart")
     monkeypatch.setattr(module, "synthetic_mnist",
