@@ -1,0 +1,134 @@
+"""Front-end quickstart: serve a frozen model over a socket, with failures.
+
+The fault-tolerant serving path of :mod:`repro.serve` in one script:
+
+1. train a tiny MLP with FF-INT8 and freeze it into an INT8 artifact,
+2. start a :class:`ServeFrontend` — a supervised pool of inference-engine
+   replicas behind the length-prefixed wire protocol,
+3. drive traffic through a :class:`FrontendClient`, with a deliberately
+   broken replica in the pool: the supervisor routes around the failure
+   and restarts the replica while clients keep getting answers,
+4. demonstrate the explicit-outcome contract — a too-tight deadline raises
+   :class:`DeadlineExceeded`, saturation raises :class:`RequestShed` with
+   the server's adaptive ``retry_after_ms`` backoff hint — and finish with
+   a graceful drain.
+
+Usage::
+
+    python examples/frontend_quickstart.py [--epochs N] [--requests N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from repro import (
+    DeadlineExceeded,
+    FFInt8Config,
+    FFInt8Trainer,
+    FrontendClient,
+    FrontendConfig,
+    RequestShed,
+    ServeFrontend,
+    build_engine,
+    build_model,
+    export_artifact,
+    synthetic_mnist,
+)
+from repro.serve.faults import FaultSchedule, FaultyEngine
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--epochs", type=int, default=6)
+    parser.add_argument("--requests", type=int, default=48)
+    parser.add_argument("--replicas", type=int, default=2)
+    args = parser.parse_args()
+
+    # ----------------------------------------------------------------- #
+    # 1. train + freeze (same path as serve_quickstart, smaller)
+    # ----------------------------------------------------------------- #
+    train_set, test_set = synthetic_mnist(
+        num_train=192, num_test=64, seed=0, image_size=14
+    )
+    bundle = build_model("mlp-mini", input_shape=(1, 14, 14))
+    config = FFInt8Config(epochs=args.epochs, batch_size=64,
+                          evaluate_every=max(args.epochs, 1), seed=0)
+    print(f"training {bundle.name} with FF-INT8 "
+          f"for {args.epochs} epochs...")
+    history = FFInt8Trainer(config).fit(bundle, train_set, test_set)
+    artifact = export_artifact(
+        history.metadata["units"], bundle,
+        overlay_amplitude=config.overlay_amplitude, theta=config.theta,
+        # The registry reference lets every replica (and every supervised
+        # restart) rebuild its own engine from the artifact alone.
+        registry_name="mlp-mini",
+        registry_kwargs={"input_shape": [1, 14, 14]},
+    )
+
+    # ----------------------------------------------------------------- #
+    # 2. a supervised replica pool, one replica broken on purpose
+    # ----------------------------------------------------------------- #
+    builds = [0]
+
+    def engine_factory():
+        engine = build_engine(artifact)
+        builds[0] += 1
+        if builds[0] == 1:
+            # The first replica dies on its third batch; the supervisor
+            # fails the request over, restarts the replica from this same
+            # factory, health-probes it, and routes traffic back.
+            return FaultyEngine(engine, FaultSchedule(fail_calls=[2]))
+        return engine
+
+    frontend_config = FrontendConfig(
+        num_replicas=args.replicas, max_wait_ms=1.0,
+        restart_backoff_ms=25.0, health_interval_ms=10.0,
+        default_deadline_ms=2000.0, max_queue_depth=64,
+    )
+    samples = test_set.images[: args.requests]
+
+    with ServeFrontend(engine_factory, frontend_config) as frontend:
+        host, port = frontend.address
+        print(f"front-end listening on {host}:{port} "
+              f"({args.replicas} replicas)")
+        with FrontendClient(host, port) as client:
+            # 3. traffic straight through the injected failure
+            served = sum(
+                client.predict_with_retry(sample) is not None
+                for sample in samples
+            )
+            deadline = time.perf_counter() + 5.0
+            while (frontend.supervisor.restarts < 1
+                   and time.perf_counter() < deadline):
+                time.sleep(0.01)
+            print(f"served {served}/{args.requests} requests; "
+                  f"replica restarts: {frontend.supervisor.restarts}, "
+                  f"healthy replicas: "
+                  f"{frontend.supervisor.healthy_replicas}")
+
+            # 4a. deadlines are explicit outcomes, not hangs
+            try:
+                client.predict(samples[0], deadline_ms=0.001)
+                print("deadline outcome: served within 1 µs (!)")
+            except DeadlineExceeded as error:
+                print(f"deadline outcome: {error}")
+            except RequestShed as error:
+                print(f"deadline outcome (shed first): {error}")
+
+            # 4b. the shed contract: explicit, with a backoff hint
+            snapshot = client.server_metrics()["metrics"]
+            print(f"server totals: {int(snapshot['requests'])} served, "
+                  f"{int(snapshot['shed_requests'])} shed, "
+                  f"{int(snapshot['deadline_exceeded_requests'])} "
+                  "deadline-exceeded")
+        print("draining...")
+    print("front-end closed (intake stopped, in-flight flushed, "
+          "engines closed)")
+
+
+if __name__ == "__main__":
+    main()

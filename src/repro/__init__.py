@@ -33,11 +33,17 @@ from repro.data import synthetic_cifar10, synthetic_mnist
 from repro.hardware import TrainingCostModel, build_table5_summary, profile_bundle
 from repro.models import available_models, build_model
 from repro.serve import (
+    DeadlineExceeded,
+    FrontendClient,
+    FrontendConfig,
     Int8InferenceEngine,
     InferenceArtifact,
     MicroBatcher,
     PredictionCache,
+    ReplicaSupervisor,
+    RequestShed,
     ServeConfig,
+    ServeFrontend,
     ServeMetrics,
     build_engine,
     export_artifact,
@@ -49,7 +55,7 @@ from repro.serve import (
 from repro import runtime
 from repro.training import BPConfig, BPTrainer, make_trainer
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "FFInt8Trainer",
@@ -82,6 +88,12 @@ __all__ = [
     "PredictionCache",
     "ServeConfig",
     "ServeMetrics",
+    "FrontendConfig",
+    "ServeFrontend",
+    "FrontendClient",
+    "ReplicaSupervisor",
+    "RequestShed",
+    "DeadlineExceeded",
     "runtime",
     "__version__",
 ]

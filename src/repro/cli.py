@@ -7,6 +7,8 @@ Six subcommands cover the common workflows::
     python -m repro estimate --model resnet18   # Jetson Orin Nano cost table
     python -m repro export --model mlp-mini --output runs/artifact
     python -m repro serve-bench --model mlp-mini --requests 256 --trace 3
+    python -m repro serve-bench --server --port 7071 --replicas 2   # wire server
+    python -m repro serve-bench --client --port 7071 --deadline-ms 250
     python -m repro obs-snapshot --model mlp-mini --requests 64
 
 The CLI is intentionally thin: it wires the public library API together so
@@ -37,8 +39,13 @@ from repro.data import synthetic_cifar10, synthetic_mnist
 from repro.hardware import TrainingCostModel, profile_bundle
 from repro.models import available_models, build_model
 from repro.serve import (
+    DeadlineExceeded,
+    FrontendClient,
+    FrontendConfig,
     MicroBatcher,
+    RequestShed,
     ServeConfig,
+    ServeFrontend,
     build_engine,
     export_artifact,
     export_from_checkpoint,
@@ -177,6 +184,30 @@ def build_parser() -> argparse.ArgumentParser:
                             "(batcher, engine and per-kernel-step spans)")
     bench.add_argument("--output", default=None,
                        help="optional path for a JSON benchmark summary")
+    wire = bench.add_argument_group(
+        "wire mode", "serve over a socket (fault-tolerant front-end) "
+                     "instead of benchmarking in-process")
+    wire.add_argument("--server", action="store_true",
+                      help="run the front-end server (supervised replica "
+                           "pool behind the length-prefixed wire protocol)")
+    wire.add_argument("--client", action="store_true",
+                      help="benchmark against a running --server: "
+                           "wire-inclusive latency, shed/deadline outcomes")
+    wire.add_argument("--host", default="127.0.0.1")
+    wire.add_argument("--port", type=int, default=0,
+                      help="listen port for --server (0 picks one and "
+                           "prints it); connect port for --client")
+    wire.add_argument("--replicas", type=int, default=1,
+                      help="engine replicas behind the --server front-end")
+    wire.add_argument("--deadline-ms", type=float, default=1000.0,
+                      help="per-request deadline; the server answers "
+                           "deadline_exceeded past it, never silence")
+    wire.add_argument("--max-queue-depth", type=int, default=128,
+                      help="--server admission bound; excess requests are "
+                           "shed with an adaptive retry_after_ms hint")
+    wire.add_argument("--duration-s", type=float, default=0.0,
+                      help="--server lifetime (0 = serve until Ctrl-C; "
+                           "shutdown always drains gracefully)")
 
     obs = subparsers.add_parser(
         "obs-snapshot", parents=[common],
@@ -396,18 +427,40 @@ def _cmd_export(args) -> int:
 
 def _cmd_serve_bench(args) -> int:
     _mini_image_size(args)
+    if args.server and args.client:
+        raise SystemExit("error: --server and --client are exclusive "
+                         "(run one of each, in separate processes)")
+    if args.client:
+        return _serve_bench_client(args)
     pins = _parse_pins(args)  # validate before paying for any training
     if args.artifact:
         artifact = load_artifact(args.artifact)
         _, test_set = _load_dataset(args)
     else:
         artifact, test_set = _train_and_freeze(args)
+    if args.server:
+        return _serve_bench_server(args, artifact, pins)
     # Resolve pins once, at this deployment's coalesced batch height (the
     # micro-batcher re-applies the same pins at the same height, which is a
     # plan-cache hit on the memoized executor), so the report below matches
     # what serves.
     engine = build_engine(artifact, backend=args.backend,
                           fuse=not args.no_fuse)
+    # One cleanup path for every exit — normal, error, or Ctrl-C anywhere
+    # from here on (including the single-sample baseline): the engine owns
+    # the kernel-pool lifecycle and ``close()`` is idempotent, so the
+    # KeyboardInterrupt branch, this ``finally`` and the interpreter-exit
+    # hook can all fire without double-teardown.
+    try:
+        return _serve_bench_local(args, artifact, engine, test_set, pins)
+    except KeyboardInterrupt:
+        print("\nserve-bench interrupted — shutting kernel pools down")
+        return 130
+    finally:
+        engine.close()
+
+
+def _serve_bench_local(args, artifact, engine, test_set, pins) -> int:
     if pins:
         engine.apply_pins(pins, batch_size=args.max_batch_size)
     if pins == "auto":
@@ -446,9 +499,9 @@ def _cmd_serve_bench(args) -> int:
         min_wait_ms=args.min_wait_ms,
     )
     batcher = MicroBatcher(engine, config)
-    # The engine owns the kernel-pool lifecycle: leaving this block shuts
-    # down any worker pools (threads or shard processes) its plan started.
-    with engine, batcher:
+    # The caller's try/finally closes the engine; this block only manages
+    # the batcher's worker threads.
+    with batcher:
         if args.trace > 0:
             # Trace only the batched phase so the single-sample baseline
             # above stays an untouched reference measurement.
@@ -517,6 +570,142 @@ def _cmd_serve_bench(args) -> int:
             "obs": get_registry().snapshot(),
         }, args.output)
         print(f"benchmark summary written to {args.output}")
+    return 0
+
+
+def _serve_bench_server(args, artifact, pins) -> int:
+    """Serve the artifact over the wire behind the supervised front-end."""
+    def factory():
+        engine = build_engine(artifact, backend=args.backend,
+                              fuse=not args.no_fuse)
+        if pins:
+            engine.apply_pins(pins, batch_size=args.max_batch_size)
+        return engine
+
+    config = FrontendConfig(
+        host=args.host, port=args.port, num_replicas=args.replicas,
+        max_batch_size=args.max_batch_size, max_wait_ms=args.max_wait_ms,
+        num_workers=args.workers, cache_capacity=args.cache_size,
+        dedup_inflight=args.cache_size > 0, backend=args.backend,
+        pins=pins, fuse=not args.no_fuse,
+        autoscale_wait=args.autoscale_wait, min_wait_ms=args.min_wait_ms,
+        default_deadline_ms=args.deadline_ms,
+        max_queue_depth=args.max_queue_depth,
+    )
+    frontend = ServeFrontend(factory, config)
+    # Same single-cleanup-path contract as the in-process bench: Ctrl-C at
+    # any point lands in the ``finally`` and drains gracefully (intake
+    # stops, in-flight requests finish, engines and kernel pools close).
+    try:
+        frontend.start()
+        print(f"serving {artifact.metadata['model_name']} on "
+              f"{args.host}:{frontend.port} "
+              f"({args.replicas} replica(s), "
+              f"deadline {args.deadline_ms:.0f} ms, "
+              f"queue depth {args.max_queue_depth})")
+        if args.duration_s > 0:
+            time.sleep(args.duration_s)
+        else:
+            print("Ctrl-C to drain and exit")
+            while True:
+                time.sleep(1.0)
+    except KeyboardInterrupt:
+        print("\ninterrupt — draining")
+        return 0
+    finally:
+        frontend.close()
+        snap = frontend.metrics.snapshot()
+        print(f"served {int(snap['requests'])} request(s), "
+              f"shed {int(snap['shed_requests'])}, "
+              f"deadline-exceeded {int(snap['deadline_exceeded_requests'])}, "
+              f"replica restarts {frontend.supervisor.restarts}")
+    return 0
+
+
+def _serve_bench_client(args) -> int:
+    """Wire-inclusive latency benchmark against a running ``--server``."""
+    if args.port <= 0:
+        raise SystemExit("error: --client needs the server's --port")
+    _, test_set = _load_dataset(args)
+    images = test_set.images
+    indices = np.arange(args.requests) % len(images)
+    stream = images[indices]
+
+    # The server may still be training/staging: retry the connection
+    # briefly so orchestration (CI) can launch both sides back to back.
+    deadline = time.perf_counter() + 30.0
+    while True:
+        try:
+            client = FrontendClient(args.host, args.port, seed=args.seed)
+            break
+        except OSError:
+            if time.perf_counter() >= deadline:
+                raise SystemExit(
+                    f"error: no server at {args.host}:{args.port}"
+                )
+            time.sleep(0.25)
+    outcomes = {"ok": 0, "shed": 0, "deadline_exceeded": 0, "error": 0}
+    latencies = []
+    started = time.perf_counter()
+    try:
+        client.ping()
+        for sample in stream:
+            sent = time.perf_counter()
+            try:
+                client.predict_with_retry(sample,
+                                          deadline_ms=args.deadline_ms)
+                outcomes["ok"] += 1
+                latencies.append(1000.0 * (time.perf_counter() - sent))
+            except RequestShed:
+                outcomes["shed"] += 1
+            except DeadlineExceeded:
+                outcomes["deadline_exceeded"] += 1
+            except (RuntimeError, ConnectionError) as error:
+                # Server-side engine error or a drain that beat us: still
+                # an explicit, counted outcome.
+                outcomes["error"] += 1
+                print(f"request error: {error}")
+        elapsed = time.perf_counter() - started
+        try:
+            server_view = client.server_metrics()
+        except (ConnectionError, OSError):
+            server_view = {}
+    finally:
+        client.close()
+
+    total = max(1, args.requests)
+    stats = latency_percentiles(latencies)
+    print(format_table(
+        ["outcome", "requests", "rate"],
+        [[name, count, count / total]
+         for name, count in outcomes.items()],
+        title=f"serve-bench --client: {args.host}:{args.port} "
+              f"(deadline {args.deadline_ms:.0f} ms, "
+              f"{args.requests} requests)",
+        float_format="{:.3f}",
+    ))
+    throughput = args.requests / elapsed if elapsed > 0 else 0.0
+    print(f"wire latency p50 {stats['p50']:.2f} ms, "
+          f"p95 {stats['p95']:.2f} ms, p99 {stats['p99']:.2f} ms "
+          f"({throughput:.1f} req/s incl. retries; "
+          f"{client.sheds_seen} shed response(s) seen, "
+          f"{client.retry_sleep_s * 1000.0:.1f} ms backing off)")
+    if args.output:
+        save_json({
+            "mode": "wire-client",
+            "server": {"host": args.host, "port": args.port},
+            "requests": args.requests,
+            "deadline_ms": args.deadline_ms,
+            "outcomes": outcomes,
+            "wire_latency": {"throughput_rps": throughput, **stats},
+            "client_backoff": {"sheds_seen": client.sheds_seen,
+                               "retry_sleep_s": client.retry_sleep_s},
+            "server_metrics": server_view.get("metrics", {}),
+            "replicas": server_view.get("replicas", []),
+            "meta": machine_meta(backend=args.backend),
+            "obs": get_registry().snapshot(),
+        }, args.output)
+        print(f"wire benchmark summary written to {args.output}")
     return 0
 
 

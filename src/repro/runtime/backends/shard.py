@@ -272,7 +272,7 @@ def _worker_main(conn, untrack: bool = False,
         while True:
             try:
                 job = conn.recv()
-            except EOFError:
+            except (EOFError, OSError):
                 break
             if job is None:
                 break
@@ -799,8 +799,13 @@ class ShardBackend(ParallelBackend):
                     )
                 else:
                     status, detail = conn.recv()
-            except EOFError:  # pragma: no cover - worker died mid-call
-                status, detail = "err", f"worker {process.name} exited"
+            except (EOFError, OSError) as error:
+                # A SIGKILLed worker surfaces as EOF or a reset pipe
+                # (ConnectionResetError) depending on where the kill lands;
+                # both mean the same thing: the worker died mid-call.
+                status, detail = "err", (
+                    f"worker {process.name} exited ({type(error).__name__})"
+                )
             if status != "ok":
                 failures.append(detail)
         if failures:

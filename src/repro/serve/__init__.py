@@ -12,14 +12,28 @@ deployment path end to end:
 * :class:`MicroBatcher` coalesces single-sample requests into engine
   batches, fronted by a :class:`PredictionCache` and instrumented by
   :class:`ServeMetrics`,
-* :class:`ServeConfig` carries the serving knobs.
+* :class:`ReplicaSupervisor` pools engine replicas with supervised
+  restart-and-reroute, and :class:`ServeFrontend` /
+  :class:`FrontendClient` put the whole stack on a socket with explicit
+  request outcomes (result, :class:`RequestShed`,
+  :class:`DeadlineExceeded`) — nothing drops silently,
+* :class:`ServeConfig` / :class:`FrontendConfig` carry the serving knobs,
+* :mod:`repro.serve.faults` injects deterministic failures for the
+  robustness tests and the chaos smoke.
 
-See ``examples/serve_quickstart.py`` for the train → export → serve loop.
+See ``examples/serve_quickstart.py`` for the train → export → serve loop
+and ``examples/frontend_quickstart.py`` for serving over the wire.
 """
 
 from repro.serve.batcher import MicroBatcher
 from repro.serve.cache import PredictionCache, input_digest
-from repro.serve.config import ServeConfig
+from repro.serve.config import FrontendConfig, ServeConfig
+from repro.serve.errors import (
+    DeadlineExceeded,
+    ReplicaUnavailable,
+    RequestShed,
+    ServeError,
+)
 from repro.serve.engine import (
     FrozenInt8Kernel,
     Int8InferenceEngine,
@@ -35,10 +49,20 @@ from repro.serve.export import (
     load_artifact,
     save_artifact,
 )
+from repro.serve.frontend import FrontendClient, ServeFrontend
 from repro.serve.metrics import ServeMetrics, latency_percentiles
+from repro.serve.supervisor import ReplicaSupervisor
 
 __all__ = [
     "ServeConfig",
+    "FrontendConfig",
+    "ServeError",
+    "RequestShed",
+    "DeadlineExceeded",
+    "ReplicaUnavailable",
+    "ServeFrontend",
+    "FrontendClient",
+    "ReplicaSupervisor",
     "InferenceArtifact",
     "export_artifact",
     "export_from_checkpoint",

@@ -26,8 +26,9 @@ from __future__ import annotations
 import queue
 import threading
 import time
-from concurrent.futures import Future
-from typing import Callable, List, Optional, Sequence, Union
+from concurrent.futures import CancelledError, Future
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -36,6 +37,7 @@ from repro.obs.registry import get_registry
 from repro.runtime.dispatch import use_backend
 from repro.serve.cache import PredictionCache, input_digest
 from repro.serve.config import ServeConfig
+from repro.serve.errors import DeadlineExceeded, RequestShed
 from repro.serve.metrics import ServeMetrics
 
 PredictFn = Callable[[np.ndarray], np.ndarray]
@@ -45,17 +47,26 @@ _RETIRE = object()
 
 
 class _Request:
-    """One queued sample together with its completion future."""
+    """One queued sample together with its completion future.
 
-    __slots__ = ("sample", "key", "future", "enqueued_at", "trace")
+    ``deadline`` is an absolute ``time.perf_counter()`` instant (or ``None``
+    for no deadline): workers check it when they dequeue the request, so an
+    expired request resolves to :class:`DeadlineExceeded` instead of burning
+    an engine-pass slot on an answer nobody is waiting for.
+    """
+
+    __slots__ = ("sample", "key", "future", "enqueued_at", "deadline",
+                 "trace")
 
     def __init__(self, sample: np.ndarray, key: Optional[str],
                  enqueued_at: float,
+                 deadline: Optional[float] = None,
                  trace: Optional[obs_trace.Trace] = None) -> None:
         self.sample = sample
         self.key = key
         self.future: "Future[object]" = Future()
         self.enqueued_at = enqueued_at
+        self.deadline = deadline
         self.trace = trace
 
 
@@ -143,6 +154,12 @@ class MicroBatcher:
         # In-flight requests by input digest, for request coalescing.
         self._pending: dict = {}
         self._pending_lock = threading.Lock()
+        # Admission/drain state: how many accepted requests have not yet
+        # resolved (queued or mid-batch), and whether the batcher is
+        # draining (new submissions shed, in-flight ones finish).
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._draining = False
         # Adaptive coalescing window (autoscale_wait); plain float writes
         # are atomic, so workers update it lock-free.
         self._current_wait_s = self.config.max_wait_s
@@ -192,10 +209,45 @@ class MicroBatcher:
                 self._spawn_worker_locked()
         return self
 
-    def stop(self) -> None:
-        """Drain nothing, signal every worker to exit, and join them."""
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop intake and wait until every accepted request has resolved.
+
+        New submissions shed (:class:`RequestShed`, reason ``"draining"``)
+        from the moment this is called; requests already accepted keep
+        their no-silent-drop guarantee — each resolves to a result, a
+        deadline error, or the engine error that killed its batch.  Returns
+        ``True`` when the in-flight count reached zero within ``timeout``
+        seconds (default: the config's ``request_timeout_s``).  The
+        batcher keeps running — call :meth:`stop` (or ``stop(drain=True)``
+        which does both) to also retire the workers.
+        """
+        self._draining = True
+        deadline = time.perf_counter() + (
+            timeout if timeout is not None else self.config.request_timeout_s
+        )
+        while time.perf_counter() < deadline:
+            with self._inflight_lock:
+                if self._inflight <= 0:
+                    return True
+            time.sleep(0.001)
+        with self._inflight_lock:
+            return self._inflight <= 0
+
+    def stop(self, drain: bool = False,
+             drain_timeout: Optional[float] = None) -> None:
+        """Signal every worker to exit and join them.
+
+        With ``drain=True`` intake closes first and the in-flight requests
+        are flushed (bounded by ``drain_timeout``) before the workers are
+        retired — the graceful half of the front-end's shutdown order.
+        Without it, queued requests simply survive for a later
+        :meth:`start` (the historical contract).
+        """
+        if drain:
+            self.drain(timeout=drain_timeout)
         with self._lifecycle_lock:
             if not self._running:
+                self._draining = False
                 return
             self._running = False
             threads, self._threads = self._threads, []
@@ -217,6 +269,9 @@ class MicroBatcher:
                 drained.append(item)
         for item in drained:
             self._queue.put(item)
+        # A drained batcher reopens intake once fully stopped, so a later
+        # start() serves again.
+        self._draining = False
 
     def __enter__(self) -> "MicroBatcher":
         return self.start()
@@ -227,16 +282,57 @@ class MicroBatcher:
     # ------------------------------------------------------------------ #
     # request API
     # ------------------------------------------------------------------ #
-    def submit(self, sample: np.ndarray) -> "Future[object]":
+    def submit(self, sample: np.ndarray,
+               deadline_s: Optional[float] = None) -> "Future[object]":
         """Enqueue one sample; returns a future resolving to its label.
+
+        ``deadline_s`` is an absolute ``time.perf_counter()`` instant; a
+        request still unserved when it passes resolves to
+        :class:`DeadlineExceeded` instead of silently occupying the queue.
+        Raises :class:`RequestShed` when admission control refuses the
+        request (intake queue at ``max_queue_depth``, or draining) — the
+        exception carries the adaptive ``retry_after_ms`` backoff hint.
 
         When tracing is enabled and this request is sampled, its whole life
         — cache/dedup verdicts here, the coalesce wait, the engine pass and
         every kernel step under it — lands in one trace; otherwise the
         ``trace is None`` branches cost one comparison each.
         """
+        return self._submit(sample, deadline_s)[0]
+
+    def retry_after_ms(self) -> float:
+        """The adaptive backoff hint attached to shed responses."""
+        config = self.config
+        return self.metrics.retry_after_ms(
+            base_ms=getattr(config, "shed_retry_base_ms", 5.0),
+            per_depth_ms=getattr(config, "shed_retry_per_depth_ms", 2.0),
+            cap_ms=getattr(config, "shed_retry_cap_ms", 1000.0),
+        )
+
+    def _shed(self, reason: str) -> RequestShed:
+        self.metrics.record_shed()
+        return RequestShed(self.retry_after_ms(), reason=reason)
+
+    def _submit(
+        self, sample: np.ndarray, deadline_s: Optional[float] = None
+    ) -> Tuple["Future[object]", Optional[_Request]]:
+        """Shared submit path; returns ``(future, request-or-None)``.
+
+        The request handle (``None`` for cache hits and dedup riders, which
+        own no queue slot) is what :meth:`predict` needs to *abandon* a
+        timed-out request — releasing its dedup/pending slot instead of
+        leaving a dead future other submitters would coalesce onto.
+        """
         if not self._running:
             self.start()
+        if self._draining:
+            raise self._shed("draining")
+        max_depth = int(getattr(self.config, "max_queue_depth", 0) or 0)
+        if max_depth > 0:
+            with self._inflight_lock:
+                saturated = self._inflight >= max_depth
+            if saturated:
+                raise self._shed("queue_full")
         trace = obs_trace.maybe_trace("serve.request")
         sample = np.asarray(sample, dtype=np.float32)
         key: Optional[str] = None
@@ -256,8 +352,9 @@ class MicroBatcher:
                     obs_trace.finish_trace(trace)
                 future: "Future[object]" = Future()
                 future.set_result(hit)
-                return future
-        request = _Request(sample, key, time.perf_counter(), trace=trace)
+                return future, None
+        request = _Request(sample, key, time.perf_counter(),
+                           deadline=deadline_s, trace=trace)
         if key is not None and self.config.dedup_inflight:
             with self._pending_lock:
                 existing = self._pending.get(key)
@@ -273,8 +370,10 @@ class MicroBatcher:
                             ),
                         )
                         obs_trace.finish_trace(trace)
-                    return existing.future
+                    return existing.future, None
                 self._pending[key] = request
+        with self._inflight_lock:
+            self._inflight += 1
         depth = self._queue.qsize()
         self.metrics.record_enqueue(depth)
         self._queue.put(request)
@@ -284,23 +383,88 @@ class MicroBatcher:
                 "batcher.enqueue", request.enqueued_at, now,
                 queue_depth=depth,
             )
-        return request.future
+        return request.future, request
+
+    def _abandon(self, request: _Request) -> None:
+        """Release a timed-out request's slots so nothing waits on it.
+
+        The dedup/pending slot is freed first — a later identical key must
+        submit fresh instead of coalescing onto a future nobody will
+        resolve — then the future is cancelled so a worker that dequeues
+        the request later drops it instead of computing an unwanted
+        answer.  When the cancel loses the race (a worker already marked
+        the batch running), the in-flight engine pass resolves the future
+        normally; either way exactly one outcome is observed per waiter.
+        """
+        self._release_pending(request)
+        if request.future.cancel():
+            # The worker will never see this request complete; its queue
+            # slot is accounted for when the worker dequeues and drops it.
+            pass
 
     def predict(self, sample: np.ndarray, timeout: Optional[float] = None) -> int:
-        """Synchronous single-sample prediction through the batcher."""
+        """Synchronous single-sample prediction through the batcher.
+
+        A timeout is a first-class :class:`DeadlineExceeded` outcome: the
+        request's dedup/pending slot is released and its queue entry
+        cancelled before the exception propagates, so a later identical
+        key never waits on the dead future (and an unserved entry never
+        wastes an engine pass).
+        """
         timeout = timeout if timeout is not None else self.config.request_timeout_s
-        return int(self.submit(sample).result(timeout=timeout))
+        deadline = time.perf_counter() + timeout
+        future, request = self._submit(sample, deadline_s=deadline)
+        try:
+            return int(future.result(timeout=timeout))
+        except FuturesTimeoutError:
+            if request is not None:
+                self._abandon(request)
+            self.metrics.record_deadline_exceeded()
+            raise DeadlineExceeded(
+                "prediction timed out", deadline_ms=1000.0 * timeout
+            ) from None
+        except CancelledError:
+            # A dedup rider whose leader abandoned the shared future: the
+            # leader released the slot, so this waiter resolves the same
+            # way the leader did.
+            self.metrics.record_deadline_exceeded()
+            raise DeadlineExceeded(
+                "coalesced request abandoned before completion",
+                deadline_ms=1000.0 * timeout,
+            ) from None
 
     def predict_many(
         self, samples: Sequence[np.ndarray], timeout: Optional[float] = None
     ) -> np.ndarray:
         """Submit a burst of samples and gather their labels in order."""
         timeout = timeout if timeout is not None else self.config.request_timeout_s
-        futures = [self.submit(sample) for sample in samples]
-        return np.asarray(
-            [int(future.result(timeout=timeout)) for future in futures],
-            dtype=np.int64,
-        )
+        deadline = time.perf_counter() + timeout
+        submissions = [self._submit(sample, deadline_s=deadline)
+                       for sample in samples]
+        labels = []
+        for future, request in submissions:
+            try:
+                labels.append(int(future.result(timeout=timeout)))
+            except (FuturesTimeoutError, CancelledError):
+                if request is not None:
+                    self._abandon(request)
+                self.metrics.record_deadline_exceeded()
+                raise DeadlineExceeded(
+                    "burst prediction timed out",
+                    deadline_ms=1000.0 * timeout,
+                ) from None
+        return np.asarray(labels, dtype=np.int64)
+
+    @property
+    def inflight(self) -> int:
+        """Accepted requests not yet resolved (queued or mid-batch)."""
+        with self._inflight_lock:
+            return self._inflight
+
+    @property
+    def draining(self) -> bool:
+        """True while intake is closed for a graceful drain."""
+        return self._draining
 
     @property
     def current_wait_ms(self) -> float:
@@ -476,7 +640,52 @@ class MicroBatcher:
                 if self._pending.get(request.key) is request:
                     del self._pending[request.key]
 
+    def _retire_request(self, request: _Request) -> None:
+        """Account one accepted request as resolved (any outcome)."""
+        self._release_pending(request)
+        with self._inflight_lock:
+            self._inflight -= 1
+
+    def _triage_batch(self, batch: List[_Request]) -> List[_Request]:
+        """Drop abandoned/expired requests; mark the rest running.
+
+        Every dropped request still resolves explicitly: an abandoned one
+        was already cancelled (its client raised ``DeadlineExceeded`` and
+        released the slots), an expired one gets ``DeadlineExceeded`` set
+        here.  Marking survivors *running* closes the abandon race — a
+        client's ``Future.cancel`` can no longer win after this point, so
+        each future has exactly one resolver.
+        """
+        now = time.perf_counter()
+        live: List[_Request] = []
+        for request in batch:
+            expired = request.deadline is not None and now >= request.deadline
+            if not request.future.set_running_or_notify_cancel():
+                # Abandoned by its client; outcome was counted there.
+                self._retire_request(request)
+                if request.trace is not None:
+                    request.trace.attrs["outcome"] = "abandoned"
+                    obs_trace.finish_trace(request.trace)
+                continue
+            if expired:
+                request.future.set_exception(DeadlineExceeded(
+                    "deadline expired while queued",
+                    deadline_ms=1000.0 * (request.deadline
+                                          - request.enqueued_at),
+                ))
+                self.metrics.record_deadline_exceeded()
+                self._retire_request(request)
+                if request.trace is not None:
+                    request.trace.attrs["outcome"] = "deadline_exceeded"
+                    obs_trace.finish_trace(request.trace)
+                continue
+            live.append(request)
+        return live
+
     def _serve_batch(self, batch: List[_Request]) -> None:
+        batch = self._triage_batch(batch)
+        if not batch:
+            return
         inputs = np.stack([request.sample for request in batch])
         # Traced requests get a coalesce-wait span; the first of them
         # "leads" the batch — the engine pass runs bound to its trace, so
@@ -507,7 +716,7 @@ class MicroBatcher:
         except BaseException as error:  # propagate to every waiting client
             for request in batch:
                 request.future.set_exception(error)
-                self._release_pending(request)
+                self._retire_request(request)
             for request in traced:
                 request.trace.attrs["error"] = type(error).__name__
                 obs_trace.finish_trace(request.trace)
@@ -523,7 +732,7 @@ class MicroBatcher:
             if request.key is not None and self.cache.capacity > 0:
                 self.cache.put(request.key, value)
             request.future.set_result(value)
-            self._release_pending(request)
+            self._retire_request(request)
         for request in traced:
             if request is not leader:
                 request.trace.record_span(

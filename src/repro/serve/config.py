@@ -77,6 +77,18 @@ class ServeConfig:
         ``num_workers`` stays the starting count, and scale operations are
         at least ``autoscale_cooldown_ms`` apart so the EWMA signal is
         sustained pressure, not one burst.
+    max_queue_depth:
+        Admission-control bound on accepted-but-unresolved requests.  At
+        the bound, ``submit`` sheds (raises
+        :class:`~repro.serve.errors.RequestShed` with an adaptive
+        ``retry_after_ms`` hint) instead of queueing — deterministic
+        degradation for the shed request rather than creeping latency for
+        everyone.  ``0`` (the default) disables admission control.
+    shed_retry_base_ms / shed_retry_per_depth_ms / shed_retry_cap_ms:
+        The shed backoff hint: ``base + per_depth * queue_depth_EWMA``
+        capped at ``cap`` — an idle service hands back the base, a
+        saturated one approaches the cap, so well-behaved clients back off
+        in proportion to the real backlog.
     """
 
     config_type = "serve"
@@ -99,6 +111,10 @@ class ServeConfig:
         min_workers: Optional[int] = None,
         max_workers: Optional[int] = None,
         autoscale_cooldown_ms: float = 250.0,
+        max_queue_depth: int = 0,
+        shed_retry_base_ms: float = 5.0,
+        shed_retry_per_depth_ms: float = 2.0,
+        shed_retry_cap_ms: float = 1000.0,
         **kwargs: Any,
     ) -> None:
         if max_batch_size < 1:
@@ -149,6 +165,22 @@ class ServeConfig:
                 f"autoscale_cooldown_ms must be >= 0, got {autoscale_cooldown_ms}"
             )
         self.autoscale_cooldown_ms = float(autoscale_cooldown_ms)
+        if max_queue_depth < 0:
+            raise ValueError(
+                f"max_queue_depth must be >= 0 (0 disables admission "
+                f"control), got {max_queue_depth}"
+            )
+        if shed_retry_base_ms < 0 or shed_retry_per_depth_ms < 0:
+            raise ValueError("shed retry hints must be >= 0")
+        if shed_retry_cap_ms < shed_retry_base_ms:
+            raise ValueError(
+                f"shed_retry_cap_ms ({shed_retry_cap_ms}) must be >= "
+                f"shed_retry_base_ms ({shed_retry_base_ms})"
+            )
+        self.max_queue_depth = int(max_queue_depth)
+        self.shed_retry_base_ms = float(shed_retry_base_ms)
+        self.shed_retry_per_depth_ms = float(shed_retry_per_depth_ms)
+        self.shed_retry_cap_ms = float(shed_retry_cap_ms)
         if self.autoscale_workers and not (
             1 <= self.min_workers <= self.num_workers <= self.max_workers
         ):
@@ -189,6 +221,10 @@ class ServeConfig:
             "min_workers": self.min_workers,
             "max_workers": self.max_workers,
             "autoscale_cooldown_ms": self.autoscale_cooldown_ms,
+            "max_queue_depth": self.max_queue_depth,
+            "shed_retry_base_ms": self.shed_retry_base_ms,
+            "shed_retry_per_depth_ms": self.shed_retry_per_depth_ms,
+            "shed_retry_cap_ms": self.shed_retry_cap_ms,
         }
         for key in self._extra_keys:
             payload[key] = getattr(self, key)
@@ -197,3 +233,106 @@ class ServeConfig:
     def __repr__(self) -> str:
         fields = ", ".join(f"{key}={value!r}" for key, value in self.as_dict().items())
         return f"{type(self).__name__}({fields})"
+
+
+class FrontendConfig(ServeConfig):
+    """Configuration of the fault-tolerant network front-end.
+
+    Extends :class:`ServeConfig` (each replica's micro-batcher is built
+    from the shared batching knobs) with the wire / supervision layer:
+
+    Parameters
+    ----------
+    host / port:
+        Listen address.  ``port=0`` binds an ephemeral port (read it back
+        from :attr:`ServeFrontend.port` — the test/benchmark idiom).
+    num_replicas:
+        Engine replicas in the supervised pool.  Each replica owns its own
+        micro-batcher; the supervisor routes requests round-robin over the
+        healthy ones and around any replica mid-restart.
+    default_deadline_ms:
+        Deadline applied to requests that do not carry their own.
+    restart_backoff_ms / restart_backoff_max_ms:
+        Capped exponential backoff between replica restart attempts: the
+        first restart waits ``restart_backoff_ms``, each subsequent failure
+        doubles the wait up to ``restart_backoff_max_ms``; a successful
+        health probe resets the sequence.
+    health_interval_ms:
+        Supervisor monitor period: how often replica health is checked and
+        due restarts are attempted.
+    drain_timeout_s:
+        Bound on the graceful-drain phase of shutdown (stop intake, flush
+        in-flight batches) before engines are closed regardless.
+    max_queue_depth:
+        Inherited admission bound, but the front-end default is finite
+        (128) — a network service must shed deterministically, never queue
+        without bound.
+    """
+
+    config_type = "frontend"
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        num_replicas: int = 1,
+        default_deadline_ms: float = 1000.0,
+        restart_backoff_ms: float = 50.0,
+        restart_backoff_max_ms: float = 2000.0,
+        health_interval_ms: float = 25.0,
+        drain_timeout_s: float = 10.0,
+        max_queue_depth: int = 128,
+        **kwargs: Any,
+    ) -> None:
+        if not 0 <= int(port) <= 65535:
+            raise ValueError(
+                f"port must be in [0, 65535] (0 binds ephemeral), got {port}"
+            )
+        if num_replicas < 1:
+            raise ValueError(f"num_replicas must be >= 1, got {num_replicas}")
+        if default_deadline_ms <= 0:
+            raise ValueError(
+                f"default_deadline_ms must be > 0, got {default_deadline_ms}"
+            )
+        if restart_backoff_ms <= 0 or restart_backoff_max_ms < restart_backoff_ms:
+            raise ValueError(
+                "restart backoff requires 0 < restart_backoff_ms <= "
+                f"restart_backoff_max_ms, got {restart_backoff_ms} / "
+                f"{restart_backoff_max_ms}"
+            )
+        if health_interval_ms <= 0:
+            raise ValueError(
+                f"health_interval_ms must be > 0, got {health_interval_ms}"
+            )
+        if drain_timeout_s < 0:
+            raise ValueError(
+                f"drain_timeout_s must be >= 0, got {drain_timeout_s}"
+            )
+        super().__init__(max_queue_depth=max_queue_depth, **kwargs)
+        self.host = str(host)
+        self.port = int(port)
+        self.num_replicas = int(num_replicas)
+        self.default_deadline_ms = float(default_deadline_ms)
+        self.restart_backoff_ms = float(restart_backoff_ms)
+        self.restart_backoff_max_ms = float(restart_backoff_max_ms)
+        self.health_interval_ms = float(health_interval_ms)
+        self.drain_timeout_s = float(drain_timeout_s)
+        # Derived (seconds) for the supervision hot loops.
+        self.restart_backoff_s = self.restart_backoff_ms / 1000.0
+        self.restart_backoff_max_s = self.restart_backoff_max_ms / 1000.0
+        self.health_interval_s = self.health_interval_ms / 1000.0
+        self.default_deadline_s = self.default_deadline_ms / 1000.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        payload = super().as_dict()
+        payload.update({
+            "host": self.host,
+            "port": self.port,
+            "num_replicas": self.num_replicas,
+            "default_deadline_ms": self.default_deadline_ms,
+            "restart_backoff_ms": self.restart_backoff_ms,
+            "restart_backoff_max_ms": self.restart_backoff_max_ms,
+            "health_interval_ms": self.health_interval_ms,
+            "drain_timeout_s": self.drain_timeout_s,
+        })
+        return payload

@@ -24,7 +24,10 @@ BLAS calls with fused per-row quantization — the default serving path).
 
 from __future__ import annotations
 
+import atexit
 import hashlib
+import threading
+import weakref
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -48,6 +51,33 @@ _OBS_PLAN_COMPILES = get_registry().counter(
     "repro_plan_compiles_total", help="Execution plans compiled.")
 _OBS_PLAN_CACHE_HITS = get_registry().counter(
     "repro_plan_cache_hits_total", help="Plan-cache hits.")
+
+# Every live engine registers in this WeakSet so one interpreter-exit hook
+# is the single last-resort cleanup path: whatever an interrupted caller
+# (Ctrl-C mid-bench, a crashed test) leaves open still gets its kernel
+# pools stopped and shard segments unlinked.  ``close()`` stays the primary
+# path and is idempotent, so the hook double-closing an already-closed
+# engine is free.
+_LIVE_ENGINES: "weakref.WeakSet" = weakref.WeakSet()
+_ATEXIT_LOCK = threading.Lock()
+_ATEXIT_REGISTERED = False
+
+
+def _close_live_engines() -> None:
+    for engine in list(_LIVE_ENGINES):
+        try:
+            engine.close()
+        except Exception:
+            pass
+
+
+def _register_live_engine(engine) -> None:
+    global _ATEXIT_REGISTERED
+    with _ATEXIT_LOCK:
+        if not _ATEXIT_REGISTERED:
+            atexit.register(_close_live_engines)
+            _ATEXIT_REGISTERED = True
+        _LIVE_ENGINES.add(engine)
 from repro.runtime.backends import exact_f32_possible
 from repro.runtime.dispatch import BackendLike
 from repro.runtime.executor import PlanExecutor
@@ -331,6 +361,7 @@ class Int8InferenceEngine:
         # Backends with out-of-process weight storage (shard) stage the
         # frozen weights once now, not on the first served request.
         self.executor.stage_shared_weights()
+        _register_live_engine(self)
 
     # ------------------------------------------------------------------ #
     @classmethod

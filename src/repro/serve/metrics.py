@@ -134,6 +134,8 @@ class ServeMetrics:
         self._batches = 0
         self._cached_requests = 0
         self._deduped_requests = 0
+        self._shed_requests = 0
+        self._deadline_exceeded_requests = 0
         self._first_ts: Optional[float] = None
         self._last_ts: Optional[float] = None
         registry = registry if registry is not None else get_registry()
@@ -152,6 +154,12 @@ class ServeMetrics:
         self._obs_queue_ewma = registry.gauge(
             "repro_serve_queue_depth_ewma",
             help="EWMA of the sampled batcher queue depth.")
+        self._obs_shed = registry.counter(
+            "repro_requests_shed_total",
+            help="Requests refused admission (load shedding).")
+        self._obs_deadline = registry.counter(
+            "repro_request_deadline_exceeded_total",
+            help="Requests whose deadline expired before a result.")
 
     # ------------------------------------------------------------------ #
     # recording
@@ -222,6 +230,50 @@ class ServeMetrics:
         self._obs_cached.inc()
         self._obs_latency.observe(float(latency_ms))
 
+    def record_shed(self) -> None:
+        """Record a request refused admission (load shedding).
+
+        Shed requests never enter the latency reservoirs — they were never
+        served — but they are first-class outcomes: the shed rate is the
+        front-end's primary overload signal.
+        """
+        now = self._clock()
+        with self._lock:
+            if self._first_ts is None:
+                self._first_ts = now
+            self._last_ts = now
+            self._shed_requests += 1
+        self._obs_shed.inc()
+
+    def record_deadline_exceeded(self) -> None:
+        """Record a request whose deadline expired before a result."""
+        now = self._clock()
+        with self._lock:
+            if self._first_ts is None:
+                self._first_ts = now
+            self._last_ts = now
+            self._deadline_exceeded_requests += 1
+        self._obs_deadline.inc()
+
+    def retry_after_ms(
+        self,
+        base_ms: float = 5.0,
+        per_depth_ms: float = 2.0,
+        cap_ms: float = 1000.0,
+    ) -> float:
+        """Adaptive backoff hint for shed responses, from the queue EWMA.
+
+        The hint grows linearly with the sustained backlog (the same
+        queue-depth EWMA the batcher's autoscalers read): an idle service
+        hands back ``base_ms``, a saturated one approaches ``cap_ms``.
+        Well-behaved clients sleeping this long spread a thundering herd
+        over the time the backlog actually needs to drain — adaptive
+        backoff with the *server* publishing the contention window.
+        """
+        with self._lock:
+            ewma = self._queue_depth_ewma
+        return float(min(cap_ms, base_ms + per_depth_ms * max(0.0, ewma)))
+
     def record_deduped(self) -> None:
         """Record a request coalesced onto an identical in-flight one.
 
@@ -242,6 +294,8 @@ class ServeMetrics:
             self._batches = 0
             self._cached_requests = 0
             self._deduped_requests = 0
+            self._shed_requests = 0
+            self._deadline_exceeded_requests = 0
             self._first_ts = None
             self._last_ts = None
 
@@ -270,6 +324,8 @@ class ServeMetrics:
             queue_ewma = self._queue_depth_ewma
             cached = self._cached_requests
             deduped = self._deduped_requests
+            shed = self._shed_requests
+            deadline_exceeded = self._deadline_exceeded_requests
             first_ts, last_ts = self._first_ts, self._last_ts
 
         elapsed_s = (last_ts - first_ts) if (first_ts is not None and
@@ -279,6 +335,11 @@ class ServeMetrics:
             "batches": float(batches),
             "cached_requests": float(cached),
             "deduped_requests": float(deduped),
+            "shed_requests": float(shed),
+            "deadline_exceeded_requests": float(deadline_exceeded),
+            "shed_rate": (
+                shed / (requests + shed) if (requests + shed) else 0.0
+            ),
             "elapsed_s": float(elapsed_s),
             "throughput_rps": requests / elapsed_s if elapsed_s > 0 else 0.0,
             "mean_batch_size": float(batch_mean),
@@ -314,6 +375,8 @@ class ServeMetrics:
             ["batches dispatched", snap["batches"]],
             ["cache-served requests", snap["cached_requests"]],
             ["deduped in-flight requests", snap["deduped_requests"]],
+            ["shed requests", snap["shed_requests"]],
+            ["deadline-exceeded requests", snap["deadline_exceeded_requests"]],
             ["throughput (req/s)", snap["throughput_rps"]],
             ["mean batch size", snap["mean_batch_size"]],
             ["max queue depth", snap["max_queue_depth"]],

@@ -1,0 +1,438 @@
+"""Supervised pool of inference-engine replicas with restart-and-reroute.
+
+One engine (plus its micro-batcher) is a single point of failure: a shard
+worker SIGKILL, a wedged kernel pool or any engine-pass exception takes the
+whole serving path down with it.  The :class:`ReplicaSupervisor` removes
+that coupling:
+
+* **Replicas.**  ``num_replicas`` independent engines, each built by the
+  caller's ``engine_factory`` and fronted by its own
+  :class:`~repro.serve.batcher.MicroBatcher` (own queue, own workers), all
+  sharing one :class:`~repro.serve.metrics.ServeMetrics` collector and one
+  prediction cache.
+* **Routing.**  Requests go round-robin over the *healthy* replicas; a
+  replica marked failed (its engine pass raised) is routed around
+  immediately — in-flight retries hop to the next healthy replica while the
+  request's deadline still has budget.
+* **Supervision.**  A monitor thread restarts failed replicas with capped
+  exponential backoff (``restart_backoff_ms`` doubling up to
+  ``restart_backoff_max_ms``): close the old engine (which triggers the
+  kernel pools' own reset paths — the shard pool already tears down and
+  respawns broken workers), build a fresh one from the factory, probe it
+  with a real forward pass, and only then route traffic back.  Restart
+  counts are published as ``repro_replica_restarts_total``; the healthy
+  count is the ``repro_replicas_healthy`` gauge.
+
+The supervisor preserves the serving stack's **no-silent-drop** contract:
+every submitted request resolves to a result, a
+:class:`~repro.serve.errors.DeadlineExceeded`, a
+:class:`~repro.serve.errors.RequestShed`, or — when every replica is down —
+a :class:`~repro.serve.errors.ReplicaUnavailable` that the front-end maps
+to an explicit shed response.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import CancelledError, Future
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from typing import Callable, List, Optional, Set
+
+import numpy as np
+
+from repro.obs.registry import get_registry
+from repro.serve.batcher import MicroBatcher
+from repro.serve.cache import PredictionCache
+from repro.serve.config import FrontendConfig
+from repro.serve.errors import (
+    DeadlineExceeded,
+    ReplicaUnavailable,
+    RequestShed,
+)
+from repro.serve.metrics import ServeMetrics
+
+EngineFactory = Callable[[], object]
+
+_HEALTHY = "healthy"
+_FAILED = "failed"
+_RESTARTING = "restarting"
+_STOPPED = "stopped"
+
+
+def _settle_result(future: "Future[object]", value: object) -> None:
+    """Resolve ``future`` unless the caller already cancelled it."""
+    try:
+        future.set_result(value)
+    except Exception:  # InvalidStateError: client abandoned the request
+        pass
+
+
+def _settle_exception(future: "Future[object]",
+                      error: BaseException) -> None:
+    try:
+        future.set_exception(error)
+    except Exception:
+        pass
+
+
+class _Replica:
+    """One engine + batcher pair and its supervision state."""
+
+    __slots__ = ("index", "engine", "batcher", "state", "fail_count",
+                 "next_restart_at", "last_error")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.engine = None
+        self.batcher: Optional[MicroBatcher] = None
+        self.state = _STOPPED
+        self.fail_count = 0
+        self.next_restart_at = 0.0
+        self.last_error: Optional[BaseException] = None
+
+
+class ReplicaSupervisor:
+    """Routes requests over a pool of supervised engine replicas.
+
+    Parameters
+    ----------
+    engine_factory:
+        Zero-argument callable returning a fresh engine (anything a
+        :class:`MicroBatcher` accepts).  Called once per replica at start
+        and once per restart — it is the supervisor's unit of recovery.
+    config:
+        A :class:`FrontendConfig` (replica count, restart backoff, health
+        interval) whose inherited :class:`ServeConfig` half parameterizes
+        each replica's micro-batcher.
+    metrics / cache:
+        Shared across every replica so the deployment reports one traffic
+        picture; fresh defaults are created when omitted.
+    """
+
+    def __init__(
+        self,
+        engine_factory: EngineFactory,
+        config: Optional[FrontendConfig] = None,
+        metrics: Optional[ServeMetrics] = None,
+        cache: Optional[PredictionCache] = None,
+    ) -> None:
+        self.config = config if config is not None else FrontendConfig()
+        self._factory = engine_factory
+        self.metrics = metrics if metrics is not None else ServeMetrics()
+        self.cache = (
+            cache if cache is not None
+            else PredictionCache(self.config.cache_capacity)
+        )
+        self._replicas = [
+            _Replica(index) for index in range(self.config.num_replicas)
+        ]
+        self._lock = threading.RLock()
+        self._rr = 0
+        self._running = False
+        self._monitor: Optional[threading.Thread] = None
+        self._monitor_wake = threading.Event()
+        registry = get_registry()
+        self._obs_restarts = registry.counter(
+            "repro_replica_restarts_total",
+            help="Replica engines restarted by the supervisor.")
+        self._obs_healthy = registry.gauge(
+            "repro_replicas_healthy", help="Replicas currently routable.")
+        self._restarts = 0
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "ReplicaSupervisor":
+        """Build and start every replica plus the monitor thread."""
+        with self._lock:
+            if self._running:
+                return self
+            self._running = True
+            for replica in self._replicas:
+                self._start_replica_locked(replica)
+            self._publish_health_locked()
+            self._monitor = threading.Thread(
+                target=self._monitor_loop, name="replica-supervisor",
+                daemon=True,
+            )
+            self._monitor.start()
+        return self
+
+    def _start_replica_locked(self, replica: _Replica) -> None:
+        replica.engine = self._factory()
+        replica.batcher = MicroBatcher(
+            replica.engine, self.config,
+            cache=self.cache, metrics=self.metrics,
+        ).start()
+        replica.state = _HEALTHY
+        replica.last_error = None
+
+    def stop(self, drain: bool = True,
+             drain_timeout: Optional[float] = None) -> None:
+        """Deterministic shutdown: drain batchers, then close engines.
+
+        The drain order is the graceful one the front-end documents: stop
+        intake (each batcher sheds new work), flush in-flight batches
+        (bounded by ``drain_timeout``, default the config's
+        ``drain_timeout_s``), then close every engine — which shuts down
+        kernel worker pools and unlinks shard segments.  Idempotent.
+        """
+        with self._lock:
+            if not self._running:
+                return
+            self._running = False
+            monitor, self._monitor = self._monitor, None
+            replicas = list(self._replicas)
+        self._monitor_wake.set()
+        if monitor is not None:
+            monitor.join(timeout=5.0)
+        timeout = (drain_timeout if drain_timeout is not None
+                   else self.config.drain_timeout_s)
+        for replica in replicas:
+            if replica.batcher is not None:
+                replica.batcher.stop(drain=drain, drain_timeout=timeout)
+        for replica in replicas:
+            self._close_engine(replica)
+            replica.state = _STOPPED
+        self._publish_health_locked()
+        self._monitor_wake.clear()
+
+    def __enter__(self) -> "ReplicaSupervisor":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    @staticmethod
+    def _close_engine(replica: _Replica) -> None:
+        close = getattr(replica.engine, "close", None)
+        if callable(close):
+            try:
+                close()
+            except Exception:
+                pass
+
+    # ------------------------------------------------------------------ #
+    # health accounting
+    # ------------------------------------------------------------------ #
+    def _publish_health_locked(self) -> None:
+        healthy = sum(1 for r in self._replicas if r.state == _HEALTHY)
+        self._obs_healthy.set(healthy)
+
+    @property
+    def healthy_replicas(self) -> int:
+        """How many replicas are currently routable."""
+        with self._lock:
+            return sum(1 for r in self._replicas if r.state == _HEALTHY)
+
+    @property
+    def restarts(self) -> int:
+        """Replica restarts performed since construction."""
+        return self._restarts
+
+    def replica_states(self) -> List[str]:
+        """Per-replica state snapshot (test/report surface)."""
+        with self._lock:
+            return [replica.state for replica in self._replicas]
+
+    def _mark_failed(self, replica: _Replica,
+                     error: BaseException) -> None:
+        """Take a replica out of rotation and schedule its restart."""
+        with self._lock:
+            if replica.state != _HEALTHY:
+                return
+            replica.state = _FAILED
+            replica.last_error = error
+            replica.fail_count += 1
+            backoff = min(
+                self.config.restart_backoff_max_s,
+                self.config.restart_backoff_s
+                * (2.0 ** (replica.fail_count - 1)),
+            )
+            replica.next_restart_at = time.perf_counter() + backoff
+            self._publish_health_locked()
+        # Wake the monitor so the restart clock starts now, not at the
+        # next poll boundary.
+        self._monitor_wake.set()
+
+    # ------------------------------------------------------------------ #
+    # request routing
+    # ------------------------------------------------------------------ #
+    def _pick_healthy(self, exclude: Set[int]) -> Optional[_Replica]:
+        with self._lock:
+            count = len(self._replicas)
+            for offset in range(count):
+                replica = self._replicas[(self._rr + offset) % count]
+                if replica.state == _HEALTHY and replica.index not in exclude:
+                    self._rr = (replica.index + 1) % count
+                    return replica
+        return None
+
+    def submit(self, sample: np.ndarray,
+               deadline_s: Optional[float] = None) -> "Future[object]":
+        """Route one sample to a healthy replica; returns its future.
+
+        On an engine failure the request retries on the next healthy
+        replica (each replica tried at most once) while the deadline still
+        has budget; the failing replica is marked for supervised restart.
+        The returned future resolves to the label, or raises
+        :class:`DeadlineExceeded` / :class:`RequestShed` /
+        :class:`ReplicaUnavailable` — never hangs on a dead replica.
+        """
+        if not self._running:
+            self.start()
+        outer: "Future[object]" = Future()
+        self._try_submit(outer, sample, deadline_s, exclude=set())
+        return outer
+
+    def _try_submit(self, outer: "Future[object]", sample: np.ndarray,
+                    deadline_s: Optional[float], exclude: Set[int]) -> None:
+        shed: Optional[RequestShed] = None
+        while True:
+            replica = self._pick_healthy(exclude)
+            if replica is None:
+                _settle_exception(
+                    outer,
+                    shed if shed is not None else ReplicaUnavailable(
+                        "no healthy replica available"
+                    ),
+                )
+                return
+            if deadline_s is not None and time.perf_counter() >= deadline_s:
+                self.metrics.record_deadline_exceeded()
+                _settle_exception(outer, DeadlineExceeded(
+                    "deadline expired before a replica could serve"
+                ))
+                return
+            try:
+                inner = replica.batcher.submit(sample, deadline_s=deadline_s)
+            except RequestShed as error:
+                # This replica's intake is saturated (or draining); another
+                # replica may still have headroom.
+                exclude.add(replica.index)
+                shed = error
+                continue
+            break
+
+        def _relay(done: "Future[object]") -> None:
+            if done.cancelled():
+                outer.cancel()
+                return
+            error = done.exception()
+            if error is None:
+                _settle_result(outer, done.result())
+            elif isinstance(error, (DeadlineExceeded, RequestShed)):
+                # Explicit outcomes pass through: the deadline/shed was
+                # the request's fate, not the replica's.
+                _settle_exception(outer, error)
+            else:
+                # Engine failure: supervise the replica, retry elsewhere.
+                self._mark_failed(replica, error)
+                exclude.add(replica.index)
+                if (deadline_s is not None
+                        and time.perf_counter() >= deadline_s):
+                    self.metrics.record_deadline_exceeded()
+                    _settle_exception(outer, DeadlineExceeded(
+                        "deadline expired during replica failover"
+                    ))
+                    return
+                self._try_submit(outer, sample, deadline_s, exclude)
+
+        inner.add_done_callback(_relay)
+
+    def predict(self, sample: np.ndarray,
+                timeout: Optional[float] = None) -> int:
+        """Synchronous single-sample prediction through the pool."""
+        timeout = (timeout if timeout is not None
+                   else self.config.request_timeout_s)
+        deadline = time.perf_counter() + timeout
+        future = self.submit(sample, deadline_s=deadline)
+        try:
+            return int(future.result(timeout=timeout))
+        except (FuturesTimeoutError, CancelledError):
+            self.metrics.record_deadline_exceeded()
+            raise DeadlineExceeded(
+                "prediction timed out in the replica pool",
+                deadline_ms=1000.0 * timeout,
+            ) from None
+
+    # ------------------------------------------------------------------ #
+    # supervision loop
+    # ------------------------------------------------------------------ #
+    def _monitor_loop(self) -> None:
+        while True:
+            self._monitor_wake.wait(timeout=self.config.health_interval_s)
+            self._monitor_wake.clear()
+            if not self._running:
+                return
+            now = time.perf_counter()
+            due: List[_Replica] = []
+            with self._lock:
+                for replica in self._replicas:
+                    if (replica.state == _FAILED
+                            and now >= replica.next_restart_at):
+                        replica.state = _RESTARTING
+                        due.append(replica)
+            for replica in due:
+                self._restart_replica(replica)
+
+    def _probe(self, engine) -> None:
+        """One real forward pass to verify a restarted engine serves.
+
+        Uses the engine's declared ``input_shape`` when it has one; engines
+        without it (bare callables) are probed optimistically by a no-op —
+        their next real failure would simply re-enter the restart path.
+        """
+        shape = getattr(engine, "input_shape", None)
+        predict = getattr(engine, "predict", None) or engine
+        if shape:
+            predict(np.zeros((1,) + tuple(shape), dtype=np.float32))
+
+    def _restart_replica(self, replica: _Replica) -> None:
+        old_batcher = replica.batcher
+        try:
+            if old_batcher is not None:
+                # No drain: the queue was already flushed by the failing
+                # batch's error propagation, and a wedged engine must not
+                # stall the restart.
+                old_batcher.stop()
+            self._close_engine(replica)
+            engine = self._factory()
+            self._probe(engine)
+        except BaseException as error:
+            # Failed restart: back off (exponentially, capped) and retry.
+            with self._lock:
+                if not self._running:
+                    replica.state = _STOPPED
+                    return
+                replica.state = _FAILED
+                replica.last_error = error
+                replica.fail_count += 1
+                backoff = min(
+                    self.config.restart_backoff_max_s,
+                    self.config.restart_backoff_s
+                    * (2.0 ** (replica.fail_count - 1)),
+                )
+                replica.next_restart_at = time.perf_counter() + backoff
+            return
+        with self._lock:
+            if not self._running:
+                close = getattr(engine, "close", None)
+                if callable(close):
+                    close()
+                replica.state = _STOPPED
+                return
+            replica.engine = engine
+            replica.batcher = MicroBatcher(
+                engine, self.config, cache=self.cache, metrics=self.metrics,
+            ).start()
+            replica.state = _HEALTHY
+            replica.fail_count = 0
+            replica.last_error = None
+            self._restarts += 1
+            self._publish_health_locked()
+        self._obs_restarts.inc()
+
+
+__all__ = ["ReplicaSupervisor"]

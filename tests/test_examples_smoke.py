@@ -151,6 +151,22 @@ def test_obs_quickstart_runs(monkeypatch, capsys):
     assert not tracing_enabled()
 
 
+def test_frontend_quickstart_runs(monkeypatch, capsys):
+    module = _load_example("frontend_quickstart")
+    monkeypatch.setattr(module, "synthetic_mnist",
+                        _shrunk(module.synthetic_mnist))
+    monkeypatch.setattr(sys, "argv",
+                        ["frontend_quickstart.py", "--epochs", "2",
+                         "--requests", "16"])
+    module.main()
+    out = capsys.readouterr().out
+    assert "front-end listening on" in out
+    assert "served 16/16 requests" in out
+    assert "replica restarts: 1" in out
+    assert "deadline outcome" in out
+    assert "front-end closed" in out
+
+
 def test_serve_quickstart_runs(monkeypatch, capsys):
     module = _load_example("serve_quickstart")
     monkeypatch.setattr(module, "synthetic_mnist",
