@@ -9,6 +9,7 @@ Six subcommands cover the common workflows::
     python -m repro serve-bench --model mlp-mini --requests 256 --trace 3
     python -m repro serve-bench --server --port 7071 --replicas 2   # wire server
     python -m repro serve-bench --client --port 7071 --deadline-ms 250
+    python -m repro registry --port 7071 swap mlp-mini@v2           # hot-swap
     python -m repro obs-snapshot --model mlp-mini --requests 64
 
 The CLI is intentionally thin: it wires the public library API together so
@@ -18,6 +19,7 @@ that the same behaviour is scriptable without writing Python.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import Optional, Sequence
@@ -43,6 +45,7 @@ from repro.serve import (
     FrontendClient,
     FrontendConfig,
     MicroBatcher,
+    ModelRegistry,
     RequestShed,
     ServeConfig,
     ServeFrontend,
@@ -51,6 +54,7 @@ from repro.serve import (
     export_from_checkpoint,
     latency_percentiles,
     load_artifact,
+    parse_model_ref,
     save_artifact,
 )
 from repro.runtime import available_backends, use_backend
@@ -153,7 +157,11 @@ def build_parser() -> argparse.ArgumentParser:
         "serve-bench", parents=[common],
         help="benchmark single-sample vs micro-batched INT8 inference",
     )
-    bench.add_argument("--model", default="mlp-mini")
+    bench.add_argument("--model", default="mlp-mini",
+                       help="architecture, optionally versioned as "
+                            "NAME@VER — a --server registers the frozen "
+                            "artifact under that version in its model "
+                            "registry (default version v1)")
     bench.add_argument("--artifact", default=None,
                        help="serve an existing artifact instead of training")
     bench.add_argument("--dataset", default="mnist", choices=("mnist", "cifar10"))
@@ -208,6 +216,42 @@ def build_parser() -> argparse.ArgumentParser:
     wire.add_argument("--duration-s", type=float, default=0.0,
                       help="--server lifetime (0 = serve until Ctrl-C; "
                            "shutdown always drains gracefully)")
+    wire.add_argument("--extra-version", action="append", default=None,
+                      metavar="VER",
+                      help="--server: register the frozen artifact under "
+                           "this extra version label too (repeatable; "
+                           "identical params fingerprint-dedup to one "
+                           "shared engine — the hot-swap/canary target "
+                           "without training twice)")
+    wire.add_argument("--model-ref", default=None, metavar="NAME[@VER]",
+                      help="--client: route requests to this registered "
+                           "model (bare name follows the server's "
+                           "routing; NAME@VER pins a version)")
+
+    reg = subparsers.add_parser(
+        "registry", parents=[common],
+        help="admin client for a registry-backed --server: list models, "
+             "hot-swap the stable version, start/roll back a canary",
+    )
+    reg.add_argument("action",
+                     choices=("list", "swap", "canary-start",
+                              "canary-rollback", "canary-status"),
+                     help="admin operation to run over the wire")
+    reg.add_argument("ref", nargs="?", default=None,
+                     help="model ref (NAME@VER for swap/canary-start, "
+                          "NAME for canary-rollback/canary-status)")
+    reg.add_argument("--host", default="127.0.0.1")
+    reg.add_argument("--port", type=int, required=True,
+                     help="port of the running registry-backed --server")
+    reg.add_argument("--fraction", type=float, default=0.1,
+                     help="canary traffic fraction for canary-start")
+    reg.add_argument("--canary-seed", type=int, default=0,
+                     help="seed of the deterministic canary split")
+    reg.add_argument("--force", action="store_true",
+                     help="canary-start: override an active hold-off")
+    reg.add_argument("--reason", default="admin",
+                     help="canary-rollback: reason recorded for the "
+                          "rollback")
 
     obs = subparsers.add_parser(
         "obs-snapshot", parents=[common],
@@ -432,6 +476,13 @@ def _cmd_serve_bench(args) -> int:
                          "(run one of each, in separate processes)")
     if args.client:
         return _serve_bench_client(args)
+    # --model may carry a registry version (NAME@VER); the architecture
+    # name is what training/building needs, the version is what the
+    # server's model registry files the frozen artifact under.
+    try:
+        args.model, model_version = parse_model_ref(args.model)
+    except ValueError as error:
+        raise SystemExit(f"error: {error}")
     pins = _parse_pins(args)  # validate before paying for any training
     if args.artifact:
         artifact = load_artifact(args.artifact)
@@ -439,7 +490,8 @@ def _cmd_serve_bench(args) -> int:
     else:
         artifact, test_set = _train_and_freeze(args)
     if args.server:
-        return _serve_bench_server(args, artifact, pins)
+        return _serve_bench_server(args, artifact, pins,
+                                   model_version or "v1")
     # Resolve pins once, at this deployment's coalesced batch height (the
     # micro-batcher re-applies the same pins at the same height, which is a
     # plan-cache hit on the memoized executor), so the report below matches
@@ -573,14 +625,30 @@ def _serve_bench_local(args, artifact, engine, test_set, pins) -> int:
     return 0
 
 
-def _serve_bench_server(args, artifact, pins) -> int:
-    """Serve the artifact over the wire behind the supervised front-end."""
-    def factory():
-        engine = build_engine(artifact, backend=args.backend,
+def _serve_bench_server(args, artifact, pins, model_version) -> int:
+    """Serve the artifact over the wire behind the supervised front-end.
+
+    The artifact is filed in a :class:`ModelRegistry` under
+    ``NAME@model_version`` (plus any ``--extra-version`` labels, which
+    fingerprint-dedup onto the same engine), so ``repro registry`` can
+    hot-swap and canary against the live server.
+    """
+    def builder(frozen):
+        engine = build_engine(frozen, backend=args.backend,
                               fuse=not args.no_fuse)
         if pins:
             engine.apply_pins(pins, batch_size=args.max_batch_size)
         return engine
+
+    # Register under the CLI-facing name (what the operator will address
+    # in ``repro registry`` / ``--model-ref``), not the internal
+    # architecture name the artifact metadata records.
+    name = args.model
+    registry = ModelRegistry(engine_builder=builder)
+    registry.register(name, model_version, artifact)
+    for extra in (args.extra_version or []):
+        if extra != model_version:
+            registry.register(name, extra, artifact, make_default=False)
 
     config = FrontendConfig(
         host=args.host, port=args.port, num_replicas=args.replicas,
@@ -592,15 +660,17 @@ def _serve_bench_server(args, artifact, pins) -> int:
         default_deadline_ms=args.deadline_ms,
         max_queue_depth=args.max_queue_depth,
     )
-    frontend = ServeFrontend(factory, config)
+    frontend = ServeFrontend(registry=registry, config=config)
     # Same single-cleanup-path contract as the in-process bench: Ctrl-C at
     # any point lands in the ``finally`` and drains gracefully (intake
     # stops, in-flight requests finish, engines and kernel pools close).
     try:
         frontend.start()
-        print(f"serving {artifact.metadata['model_name']} on "
+        versions = [v for m in registry.describe() for v in m["versions"]]
+        print(f"serving {name}@{model_version} on "
               f"{args.host}:{frontend.port} "
-              f"({args.replicas} replica(s), "
+              f"(versions {', '.join(versions)}; "
+              f"{args.replicas} replica(s), "
               f"deadline {args.deadline_ms:.0f} ms, "
               f"queue depth {args.max_queue_depth})")
         if args.duration_s > 0:
@@ -614,11 +684,13 @@ def _serve_bench_server(args, artifact, pins) -> int:
         return 0
     finally:
         frontend.close()
+        registry.close()
         snap = frontend.metrics.snapshot()
         print(f"served {int(snap['requests'])} request(s), "
               f"shed {int(snap['shed_requests'])}, "
               f"deadline-exceeded {int(snap['deadline_exceeded_requests'])}, "
-              f"replica restarts {frontend.supervisor.restarts}")
+              f"replica restarts {frontend.supervisor.restarts}, "
+              f"swaps {registry.stats()['swaps']}")
     return 0
 
 
@@ -653,7 +725,8 @@ def _serve_bench_client(args) -> int:
             sent = time.perf_counter()
             try:
                 client.predict_with_retry(sample,
-                                          deadline_ms=args.deadline_ms)
+                                          deadline_ms=args.deadline_ms,
+                                          model=args.model_ref)
                 outcomes["ok"] += 1
                 latencies.append(1000.0 * (time.perf_counter() - sent))
             except RequestShed:
@@ -701,11 +774,64 @@ def _serve_bench_client(args) -> int:
             "client_backoff": {"sheds_seen": client.sheds_seen,
                                "retry_sleep_s": client.retry_sleep_s},
             "server_metrics": server_view.get("metrics", {}),
+            "server_obs": server_view.get("obs", {}),
+            "server_models": server_view.get("models", []),
             "replicas": server_view.get("replicas", []),
             "meta": machine_meta(backend=args.backend),
             "obs": get_registry().snapshot(),
         }, args.output)
         print(f"wire benchmark summary written to {args.output}")
+    return 0
+
+
+def _cmd_registry(args) -> int:
+    """Admin client for a registry-backed ``serve-bench --server``."""
+    needs_ref = args.action in ("swap", "canary-start", "canary-rollback")
+    if needs_ref and not args.ref:
+        raise SystemExit(f"error: registry {args.action} needs a model ref")
+    deadline = time.perf_counter() + 10.0
+    while True:
+        try:
+            client = FrontendClient(args.host, args.port, seed=args.seed)
+            break
+        except OSError:
+            if time.perf_counter() >= deadline:
+                raise SystemExit(
+                    f"error: no server at {args.host}:{args.port}")
+            time.sleep(0.25)
+    try:
+        if args.action == "list":
+            models = client.list_models().get("models", [])
+            for model in models:
+                canary = model.get("canary")
+                note = (f", canary {canary['version']} "
+                        f"@ {canary['fraction']:.2f}" if canary else "")
+                versions = ", ".join(
+                    v + (" *" if v == model["serving"] else "")
+                    for v in model["versions"])
+                print(f"{model['name']}: serving {model['serving']} "
+                      f"[{versions}]{note}")
+            if not models:
+                print("no models registered")
+        elif args.action == "swap":
+            swapped = client.swap(args.ref)["swapped"]
+            print(f"swapped: {swapped['from']} -> {swapped['to']}")
+        elif args.action == "canary-start":
+            served = client.canary_start(args.ref, args.fraction,
+                                         seed=args.canary_seed,
+                                         force=args.force)["canary"]
+            print(f"canary started: {served}")
+        elif args.action == "canary-rollback":
+            name, _ = parse_model_ref(args.ref)
+            rolled = client.canary_rollback(
+                name, reason=args.reason)["rolled_back"]
+            print("canary rolled back" if rolled else "no active canary")
+        elif args.action == "canary-status":
+            name, _ = parse_model_ref(args.ref) if args.ref else (None, None)
+            print(json.dumps(client.canary_status(name).get("canary", {}),
+                             indent=2, sort_keys=True))
+    finally:
+        client.close()
     return 0
 
 
@@ -770,6 +896,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_export(args)
         if args.command == "serve-bench":
             return _cmd_serve_bench(args)
+        if args.command == "registry":
+            return _cmd_registry(args)
         if args.command == "obs-snapshot":
             return _cmd_obs_snapshot(args)
     return 1

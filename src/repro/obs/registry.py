@@ -250,6 +250,23 @@ class MetricsRegistry:
             metrics = list(self._metrics.values())
         return sorted(metrics, key=lambda metric: (metric.name, metric.labels))
 
+    def find(self, name: str, **labels: str) -> List[_Metric]:
+        """Every series sharing ``name`` whose labels include ``labels``.
+
+        The labeled-series query: ``find("repro_model_latency_ms",
+        model="mlp-mini")`` returns one metric per version — how the
+        canary controller and reports walk a family without knowing the
+        label values up front.
+        """
+        wanted = {(str(key), str(value)) for key, value in labels.items()}
+        with self._lock:
+            metrics = list(self._metrics.values())
+        return sorted(
+            (metric for metric in metrics
+             if metric.name == name and wanted.issubset(set(metric.labels))),
+            key=lambda metric: metric.labels,
+        )
+
     def snapshot(self) -> Dict[str, Any]:
         """JSON-serializable view of every metric's current value.
 

@@ -12,11 +12,17 @@ deployment path end to end:
 * :class:`MicroBatcher` coalesces single-sample requests into engine
   batches, fronted by a :class:`PredictionCache` and instrumented by
   :class:`ServeMetrics`,
-* :class:`ReplicaSupervisor` pools engine replicas with supervised
-  restart-and-reroute, and :class:`ServeFrontend` /
-  :class:`FrontendClient` put the whole stack on a socket with explicit
-  request outcomes (result, :class:`RequestShed`,
+* :class:`ReplicaSupervisor` pools engine replicas (grouped into
+  per-model replica sets) with supervised restart-and-reroute, and
+  :class:`ServeFrontend` / :class:`FrontendClient` put the whole stack on
+  a socket with explicit request outcomes (result, :class:`RequestShed`,
   :class:`DeadlineExceeded`) — nothing drops silently,
+* :class:`ModelRegistry` names and versions artifacts
+  (``resnet18-mini@v2``, ``@latest``), dedups identical frozen params by
+  fingerprint, and hot-swaps the stable serving version atomically;
+  :class:`CanaryController` routes a deterministic traffic split to a
+  candidate version and auto-rolls-back on regression with capped
+  doubling hold-off,
 * :class:`ServeConfig` / :class:`FrontendConfig` carry the serving knobs,
 * :mod:`repro.serve.faults` injects deterministic failures for the
   robustness tests and the chaos smoke.
@@ -49,11 +55,27 @@ from repro.serve.export import (
     load_artifact,
     save_artifact,
 )
+from repro.serve.canary import CanaryController, CanaryHeldOff
 from repro.serve.frontend import FrontendClient, ServeFrontend
-from repro.serve.metrics import ServeMetrics, latency_percentiles
+from repro.serve.metrics import ModelSeries, ServeMetrics, latency_percentiles
+from repro.serve.registry import (
+    ModelNotFound,
+    ModelRegistry,
+    ModelVersion,
+    artifact_fingerprint,
+    parse_model_ref,
+)
 from repro.serve.supervisor import ReplicaSupervisor
 
 __all__ = [
+    "ModelRegistry",
+    "ModelVersion",
+    "ModelNotFound",
+    "ModelSeries",
+    "CanaryController",
+    "CanaryHeldOff",
+    "artifact_fingerprint",
+    "parse_model_ref",
     "ServeConfig",
     "FrontendConfig",
     "ServeError",

@@ -92,6 +92,7 @@ class MicroBatcher:
         config: Optional[ServeConfig] = None,
         cache: Optional[PredictionCache] = None,
         metrics: Optional[ServeMetrics] = None,
+        cache_namespace: Optional[str] = None,
     ) -> None:
         self.config = config if config is not None else ServeConfig()
         pins = getattr(self.config, "pins", None)
@@ -147,6 +148,18 @@ class MicroBatcher:
             else PredictionCache(self.config.cache_capacity)
         )
         self.metrics = metrics if metrics is not None else ServeMetrics()
+        # Engines that declare a cache namespace (the artifact fingerprint)
+        # get their cache/dedup keys prefixed with it, so engines sharing
+        # one PredictionCache — replicas of different model versions, or a
+        # post-swap engine — can never serve another version's entries,
+        # while fingerprint-identical versions still share them.
+        # The engine's own namespace (the artifact fingerprint) wins, so
+        # fingerprint-identical versions keep sharing entries; the caller's
+        # fallback (e.g. the supervisor's replica-set key) isolates engines
+        # that declare nothing.
+        namespace = (getattr(engine, "cache_namespace", None)
+                     or cache_namespace)
+        self._cache_namespace = str(namespace) if namespace else None
         self._queue: "queue.Queue[object]" = queue.Queue()
         self._threads: List[threading.Thread] = []
         self._lifecycle_lock = threading.Lock()
@@ -338,6 +351,8 @@ class MicroBatcher:
         key: Optional[str] = None
         if self.cache.capacity > 0 or self.config.dedup_inflight:
             key = input_digest(sample)
+            if self._cache_namespace is not None:
+                key = f"{self._cache_namespace}:{key}"
         if key is not None and self.cache.capacity > 0:
             lookup_started = time.perf_counter() if trace is not None else 0.0
             hit = self.cache.get(key)

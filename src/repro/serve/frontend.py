@@ -21,7 +21,9 @@ Wire protocol (version 1), symmetric in both directions::
 The header is JSON; tensor payloads ride as raw bytes after it (shape and
 dtype declared in the header), so a request costs one JSON parse plus one
 zero-copy ``np.frombuffer``.  Request kinds: ``predict`` (optionally with
-``deadline_ms``), ``ping``, ``metrics``.
+``deadline_ms`` and a ``model`` ref such as ``resnet18-mini@v2``),
+``ping``, ``metrics``, and — on registry-backed servers — the admin kinds
+``list-models``, ``swap`` and ``canary`` (start/rollback/status).
 
 The server runs an asyncio loop in a background thread and feeds a
 :class:`~repro.serve.supervisor.ReplicaSupervisor`; the synchronous
@@ -46,12 +48,15 @@ import numpy as np
 
 from repro.obs import trace as obs_trace
 from repro.obs.registry import get_registry
+from repro.serve.cache import input_digest
+from repro.serve.canary import CanaryController, CanaryHeldOff
 from repro.serve.config import FrontendConfig
 from repro.serve.errors import (
     DeadlineExceeded,
     ReplicaUnavailable,
     RequestShed,
 )
+from repro.serve.registry import ModelNotFound, ModelRegistry
 from repro.serve.supervisor import EngineFactory, ReplicaSupervisor
 
 PROTOCOL_VERSION = 1
@@ -102,10 +107,19 @@ class ServeFrontend:
         Zero-argument engine builder, handed to the
         :class:`ReplicaSupervisor` as its unit of recovery.  An existing
         :class:`ReplicaSupervisor` may be passed via ``supervisor`` instead
-        (fault-injection tests do this to wrap replicas).
+        (fault-injection tests do this to wrap replicas), or a
+        :class:`~repro.serve.registry.ModelRegistry` via ``registry`` for
+        multi-model serving — exactly one of the three.
     config:
         :class:`FrontendConfig` — listen address, replica count, admission
         bound, default deadline, drain budget.
+    registry / controller:
+        A registry-backed front-end serves every routed model through
+        per-model replica sets, accepts the ``model`` header field and the
+        ``list-models`` / ``swap`` / ``canary`` admin kinds, and drives a
+        :class:`~repro.serve.canary.CanaryController` (a configured one
+        may be injected; by default rollbacks retire the candidate's
+        replica set so a supervised restart cannot resurrect it).
     """
 
     def __init__(
@@ -113,16 +127,43 @@ class ServeFrontend:
         engine_factory: Optional[EngineFactory] = None,
         config: Optional[FrontendConfig] = None,
         supervisor: Optional[ReplicaSupervisor] = None,
+        registry: Optional[ModelRegistry] = None,
+        controller: Optional[CanaryController] = None,
     ) -> None:
-        if (engine_factory is None) == (supervisor is None):
-            raise ValueError(
-                "pass exactly one of engine_factory or supervisor"
-            )
-        self.config = config if config is not None else FrontendConfig()
-        self.supervisor = (
-            supervisor if supervisor is not None
-            else ReplicaSupervisor(engine_factory, self.config)
+        sources = sum(
+            source is not None
+            for source in (engine_factory, supervisor, registry)
         )
+        if sources != 1:
+            raise ValueError(
+                "pass exactly one of engine_factory, supervisor or registry"
+            )
+        if controller is not None and registry is None:
+            raise ValueError("controller requires a registry")
+        self.config = config if config is not None else FrontendConfig()
+        self.registry = registry
+        if registry is not None:
+            self.supervisor = ReplicaSupervisor(config=self.config)
+            self.controller = (
+                controller if controller is not None
+                else CanaryController(registry)
+            )
+            # Chain (don't replace) any user rollback hook: the front-end
+            # must always retire the rolled-back version's replica set.
+            user_hook = self.controller.on_rollback
+            def _rollback_hook(name: str, version: str,
+                               reason: str) -> None:
+                self._on_canary_rollback(name, version, reason)
+                if user_hook is not None:
+                    user_hook(name, version, reason)
+            self.controller.on_rollback = _rollback_hook
+        else:
+            self.supervisor = (
+                supervisor if supervisor is not None
+                else ReplicaSupervisor(engine_factory, self.config)
+            )
+            self.controller = None
+        self._swap_lock = threading.Lock()
         self.metrics = self.supervisor.metrics
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
@@ -147,6 +188,15 @@ class ServeFrontend:
                 return self
             if self._closed:
                 raise RuntimeError("front-end already closed")
+            if self.registry is not None:
+                # Warm a replica set per routed model before the listener
+                # opens, so the first request never pays an engine build.
+                for name in self.registry.names():
+                    try:
+                        serving = self.registry.serving(name)
+                    except ModelNotFound:
+                        continue  # registered but unrouted
+                    self._ensure_serving(f"{name}@{serving}")
             self.supervisor.start()
             self._loop = asyncio.new_event_loop()
             self._thread = threading.Thread(
@@ -256,6 +306,92 @@ class ServeFrontend:
         self.close()
 
     # ------------------------------------------------------------------ #
+    # model lifecycle (registry-backed front-ends)
+    # ------------------------------------------------------------------ #
+    def _require_registry(self) -> ModelRegistry:
+        if self.registry is None:
+            raise RuntimeError("this front-end serves no model registry")
+        return self.registry
+
+    def _ensure_serving(self, ref: str) -> str:
+        """Make sure ``ref``'s replica set exists (idempotent); warm it."""
+        registry = self._require_registry()
+        model = registry.resolve(ref)
+        self.supervisor.add_model(
+            model.ref, registry.engine_factory(model.ref)
+        )
+        return model.ref
+
+    def _routed_refs(self) -> set:
+        """Every ``name@version`` the routing snapshot still references."""
+        registry = self._require_registry()
+        refs = set()
+        for name in registry.names():
+            try:
+                refs.add(f"{name}@{registry.serving(name)}")
+            except ModelNotFound:
+                continue
+            canary = registry.canary_of(name)
+            if canary is not None:
+                refs.add(f"{name}@{canary[0]}")
+        return refs
+
+    def _retire_unrouted(self, ref: str) -> None:
+        """Drain and drop ``ref``'s replica set once routing left it."""
+        if ref in self._routed_refs():
+            return
+        self.supervisor.remove_model(ref, drain=True)
+
+    def _retire_async(self, ref: str) -> None:
+        threading.Thread(
+            target=self._retire_unrouted, args=(ref,),
+            name=f"retire-{ref}", daemon=True,
+        ).start()
+
+    def swap(self, ref: str) -> Tuple[str, str]:
+        """Atomic hot-swap: make ``ref`` the stable version of its model.
+
+        Ordering is what makes it hitless: the new version's replica set
+        is built and warmed *first*, then the routing snapshot flips under
+        the registry lock (new requests land on the new version while
+        in-flight batches finish on the old engine), and only then is the
+        old version's set drained and retired — in the background, and
+        only if nothing routes to it anymore.  Returns ``(old, new)``.
+        """
+        registry = self._require_registry()
+        model = registry.resolve(ref)
+        with self._swap_lock:
+            self._ensure_serving(model.ref)
+            old, new = registry.swap(model.name, model.version)
+        if old != new:
+            self._retire_async(f"{model.name}@{old}")
+        return old, new
+
+    def start_canary(self, ref: str, fraction: float, seed: int = 0,
+                     force: bool = False) -> str:
+        """Warm ``ref``'s replica set and open a canary split to it."""
+        registry = self._require_registry()
+        model = registry.resolve(ref)
+        if self.controller is None:
+            raise RuntimeError("front-end has no canary controller")
+        with self._swap_lock:
+            self._ensure_serving(model.ref)
+            self.controller.start(model.name, model.version, fraction,
+                                  seed=seed, force=force)
+        return model.ref
+
+    def rollback_canary(self, name: str, reason: str = "admin") -> bool:
+        if self.controller is None:
+            raise RuntimeError("front-end has no canary controller")
+        return self.controller.rollback(name, reason=reason)
+
+    def _on_canary_rollback(self, name: str, version: str,
+                            reason: str) -> None:
+        # Retire in the background: rollbacks fire from observe() on the
+        # serving path, and draining a replica set there would stall it.
+        self._retire_async(f"{name}@{version}")
+
+    # ------------------------------------------------------------------ #
     # connection handling
     # ------------------------------------------------------------------ #
     async def _handle_connection(
@@ -353,12 +489,21 @@ class ServeFrontend:
             })
             return
         if kind == "metrics":
-            await self._respond(writer, write_lock, {
+            response = {
                 "id": request_id, "status": "ok",
                 "metrics": self.metrics.snapshot(),
                 "replicas": self.supervisor.replica_states(),
                 "restarts": self.supervisor.restarts,
-            })
+                "obs": get_registry().snapshot(),
+            }
+            if self.registry is not None:
+                response["models"] = self.registry.describe()
+                response["model_replicas"] = self.supervisor.model_states()
+            await self._respond(writer, write_lock, response)
+            return
+        if kind in ("list-models", "swap", "canary"):
+            await self._serve_admin(kind, header, request_id,
+                                    writer, write_lock)
             return
         if kind != "predict":
             await self._respond(writer, write_lock, {
@@ -368,6 +513,72 @@ class ServeFrontend:
             return
         await self._serve_predict(header, payload, request_id,
                                   writer, write_lock)
+
+    async def _serve_admin(
+        self,
+        kind: str,
+        header: Dict[str, Any],
+        request_id: Any,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        """Registry admin kinds; sync work runs off the event loop."""
+        loop = asyncio.get_running_loop()
+
+        def _run() -> Dict[str, Any]:
+            registry = self._require_registry()
+            if kind == "list-models":
+                return {"status": "ok", "models": registry.describe(),
+                        "stats": registry.stats()}
+            if kind == "swap":
+                ref = header.get("model")
+                if not ref:
+                    return {"status": "error",
+                            "error": "swap needs a model ref"}
+                old, new = self.swap(str(ref))
+                return {"status": "ok",
+                        "swapped": {"from": old, "to": new}}
+            action = str(header.get("action", "status"))
+            if action == "start":
+                ref = header.get("model")
+                if not ref:
+                    return {"status": "error",
+                            "error": "canary start needs a model ref"}
+                served = self.start_canary(
+                    str(ref),
+                    float(header.get("fraction", 0.1)),
+                    seed=int(header.get("seed", 0)),
+                    force=bool(header.get("force", False)),
+                )
+                return {"status": "ok", "canary": served}
+            if action == "rollback":
+                name = header.get("model")
+                if not name:
+                    return {"status": "error",
+                            "error": "canary rollback needs a model name"}
+                rolled = self.rollback_canary(
+                    str(name), reason=str(header.get("reason", "admin")))
+                return {"status": "ok", "rolled_back": rolled}
+            if action == "status":
+                if self.controller is None:
+                    return {"status": "error",
+                            "error": "no canary controller"}
+                name = header.get("model")
+                return {"status": "ok",
+                        "canary": self.controller.status(
+                            str(name) if name else None)}
+            return {"status": "error",
+                    "error": f"unknown canary action {action!r}"}
+
+        try:
+            response = await loop.run_in_executor(None, _run)
+        except CanaryHeldOff as held:
+            response = {"status": "error", "error": str(held),
+                        "retry_after_s": held.retry_after_s}
+        except (ModelNotFound, ValueError, RuntimeError) as error:
+            response = {"status": "error", "error": str(error)}
+        response["id"] = request_id
+        await self._respond(writer, write_lock, response)
 
     async def _serve_predict(
         self,
@@ -422,12 +633,68 @@ class ServeFrontend:
             sample = _decode_sample(header, payload)
         except Exception as error:
             return {"status": "error", "error": f"bad tensor frame: {error}"}
+        model_ref = header.get("model")
+        route = None
+        model_key: Optional[str] = None
+        if self.registry is not None:
+            try:
+                route = self.registry.route(
+                    str(model_ref) if model_ref else None,
+                    key=input_digest(sample),
+                )
+            except (ModelNotFound, ValueError) as error:
+                return {"status": "error", "error": str(error)}
+            model_key = route.ref
+            if not self.supervisor.has_model(model_key):
+                # Raced a retire (the set is gone but a stale pin or a
+                # just-rolled-back canary asked for it): shed explicitly.
+                self.metrics.record_shed()
+                return self._shed_header(None, "no_replica")
+        elif model_ref:
+            return {"status": "error",
+                    "error": "server has no model registry; "
+                             "omit the model field"}
         deadline_ms = float(
             header.get("deadline_ms") or self.config.default_deadline_ms
         )
         deadline_s = started + deadline_ms / 1000.0
+        outcome = await self._routed_outcome(
+            sample, model_key, deadline_ms, deadline_s
+        )
+        if route is not None:
+            status = outcome.get("status")
+            if status in ("ok", "error", "deadline_exceeded") or (
+                    status == "shed"
+                    and outcome.get("reason") == "no_replica"):
+                # Version-attributed outcomes: results and failures the
+                # routed version owns (its engine erred, stalled past the
+                # deadline, or its whole set is down) — the canary
+                # controller's comparison feed.  Pre-engine load sheds
+                # (queue_full, draining) are admission, not the version.
+                latency_ms = 1000.0 * (time.perf_counter() - started)
+                ok = status == "ok"
+                self.metrics.record_model_request(
+                    route.name, route.version, latency_ms, ok=ok)
+                if self.controller is not None:
+                    self.controller.observe(
+                        route.name, route.version, latency_ms, ok=ok)
+            if outcome.get("status") == "ok":
+                outcome["model"] = route.ref
+                if route.canary:
+                    outcome["canary"] = True
+        return outcome
+
+    async def _routed_outcome(
+        self,
+        sample: np.ndarray,
+        model_key: Optional[str],
+        deadline_ms: float,
+        deadline_s: float,
+    ) -> Dict[str, Any]:
         try:
-            future = self.supervisor.submit(sample, deadline_s=deadline_s)
+            future = self.supervisor.submit(
+                sample, deadline_s=deadline_s, model=model_key
+            )
         except RequestShed as shed:
             return self._shed_header(None, shed.reason, shed.retry_after_ms)
         try:
@@ -537,18 +804,79 @@ class FrontendClient:
         """The server-side metrics snapshot + replica states."""
         return self._roundtrip({"kind": "metrics"})
 
+    def list_models(self) -> Dict[str, Any]:
+        """Registry summary of a registry-backed server."""
+        return self._roundtrip({"kind": "list-models"})
+
+    def swap(self, model_ref: str) -> Dict[str, Any]:
+        """Ask the server to hot-swap ``name@version`` to stable."""
+        response = self._roundtrip(
+            {"kind": "swap", "model": str(model_ref)}, timeout=60.0)
+        if response.get("status") != "ok":
+            raise RuntimeError(
+                f"swap failed: {response.get('error', response)}")
+        return response
+
+    def canary_start(self, model_ref: str, fraction: float,
+                     seed: int = 0, force: bool = False) -> Dict[str, Any]:
+        response = self._roundtrip({
+            "kind": "canary", "action": "start", "model": str(model_ref),
+            "fraction": float(fraction), "seed": int(seed),
+            "force": bool(force),
+        }, timeout=60.0)
+        if response.get("status") != "ok":
+            raise RuntimeError(
+                f"canary start failed: {response.get('error', response)}")
+        return response
+
+    def canary_rollback(self, name: str,
+                        reason: str = "admin") -> Dict[str, Any]:
+        response = self._roundtrip({
+            "kind": "canary", "action": "rollback", "model": str(name),
+            "reason": str(reason),
+        }, timeout=60.0)
+        if response.get("status") != "ok":
+            raise RuntimeError(
+                f"canary rollback failed: "
+                f"{response.get('error', response)}")
+        return response
+
+    def canary_status(self, name: Optional[str] = None) -> Dict[str, Any]:
+        header: Dict[str, Any] = {"kind": "canary", "action": "status"}
+        if name is not None:
+            header["model"] = str(name)
+        return self._roundtrip(header)
+
     def predict(self, sample: np.ndarray,
-                deadline_ms: Optional[float] = None) -> int:
+                deadline_ms: Optional[float] = None,
+                model: Optional[str] = None) -> int:
         """One wire prediction; raises the explicit non-result outcomes."""
+        return self.predict_routed(sample, deadline_ms=deadline_ms,
+                                   model=model)[0]
+
+    def predict_routed(
+        self,
+        sample: np.ndarray,
+        deadline_ms: Optional[float] = None,
+        model: Optional[str] = None,
+    ) -> Tuple[int, Optional[str]]:
+        """Predict and report which model version answered.
+
+        Returns ``(label, model_ref)`` — the ref is the server-routed
+        ``name@version`` (``None`` from non-registry servers), the echoed
+        version tag the swap/canary soak asserts on.
+        """
         meta, payload = _encode_sample(np.asarray(sample))
         header = {"kind": "predict", **meta}
         if deadline_ms is not None:
             header["deadline_ms"] = float(deadline_ms)
+        if model is not None:
+            header["model"] = str(model)
         socket_timeout = ((deadline_ms or 30000.0) / 1000.0) + 10.0
         response = self._roundtrip(header, payload, timeout=socket_timeout)
         status = response.get("status")
         if status == "ok":
-            return int(response["label"])
+            return int(response["label"]), response.get("model")
         if status == "shed":
             self.sheds_seen += 1
             raise RequestShed(
@@ -570,6 +898,7 @@ class FrontendClient:
         deadline_ms: Optional[float] = None,
         max_attempts: int = 6,
         sleep=time.sleep,
+        model: Optional[str] = None,
     ) -> int:
         """Predict, backing off adaptively on shed responses.
 
@@ -581,7 +910,8 @@ class FrontendClient:
         last: Optional[RequestShed] = None
         for _ in range(max(1, int(max_attempts))):
             try:
-                label = self.predict(sample, deadline_ms=deadline_ms)
+                label = self.predict(sample, deadline_ms=deadline_ms,
+                                     model=model)
                 self._window = max(1.0, self._window / 2.0)
                 return label
             except RequestShed as shed:

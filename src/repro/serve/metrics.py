@@ -101,6 +101,54 @@ class _Reservoir:
         self._samples.clear()
 
 
+class ModelSeries:
+    """Labeled per-(model, version) request series in the obs registry.
+
+    One memoized triple per (model, version): a request counter, an error
+    counter and a latency histogram, all labeled ``{model=..., version=
+    ...}`` — the per-version comparison feed the canary controller and the
+    ``serve-bench`` records read.  Shared by :class:`ServeMetrics` (the
+    frontend path) and :class:`~repro.serve.registry.ModelRegistry` (the
+    in-process path).
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self._registry = registry if registry is not None else get_registry()
+        self._lock = threading.Lock()
+        self._series: dict = {}
+
+    def _for(self, model: str, version: str):
+        key = (str(model), str(version))
+        with self._lock:
+            entry = self._series.get(key)
+            if entry is None:
+                labels = {"model": key[0], "version": key[1]}
+                entry = (
+                    self._registry.counter(
+                        "repro_model_requests_total",
+                        help="Requests served per model version.",
+                        **labels),
+                    self._registry.counter(
+                        "repro_model_errors_total",
+                        help="Failed requests per model version.",
+                        **labels),
+                    self._registry.histogram(
+                        "repro_model_latency_ms",
+                        help="Per-request latency per model version, ms.",
+                        **labels),
+                )
+                self._series[key] = entry
+        return entry
+
+    def record(self, model: str, version: str, latency_ms: float,
+               ok: bool = True) -> None:
+        requests, errors, latency = self._for(model, version)
+        requests.inc()
+        if not ok:
+            errors.inc()
+        latency.observe(float(latency_ms))
+
+
 class ServeMetrics:
     """Thread-safe collector for the micro-batching inference service.
 
@@ -160,6 +208,12 @@ class ServeMetrics:
         self._obs_deadline = registry.counter(
             "repro_request_deadline_exceeded_total",
             help="Requests whose deadline expired before a result.")
+        self.models = ModelSeries(registry)
+
+    def record_model_request(self, model: str, version: str,
+                             latency_ms: float, ok: bool = True) -> None:
+        """Attribute one answered request to a (model, version) series."""
+        self.models.record(model, version, latency_ms, ok=ok)
 
     # ------------------------------------------------------------------ #
     # recording

@@ -5,29 +5,36 @@ worker SIGKILL, a wedged kernel pool or any engine-pass exception takes the
 whole serving path down with it.  The :class:`ReplicaSupervisor` removes
 that coupling:
 
-* **Replicas.**  ``num_replicas`` independent engines, each built by the
-  caller's ``engine_factory`` and fronted by its own
+* **Replicas.**  Engines are grouped into per-model **replica sets** (one
+  set per served ``name@version``; a single ``engine_factory`` at
+  construction keeps the classic one-model pool).  Each replica is built
+  by its set's factory and fronted by its own
   :class:`~repro.serve.batcher.MicroBatcher` (own queue, own workers), all
   sharing one :class:`~repro.serve.metrics.ServeMetrics` collector and one
-  prediction cache.
-* **Routing.**  Requests go round-robin over the *healthy* replicas; a
-  replica marked failed (its engine pass raised) is routed around
-  immediately — in-flight retries hop to the next healthy replica while the
-  request's deadline still has budget.
+  prediction cache (safe across versions: cache keys are namespaced by the
+  engine's artifact fingerprint).
+* **Routing.**  Requests go round-robin over the *healthy* replicas of
+  their model's set; a replica marked failed (its engine pass raised) is
+  routed around immediately — in-flight retries hop to the next healthy
+  replica while the request's deadline still has budget.
 * **Supervision.**  A monitor thread restarts failed replicas with capped
   exponential backoff (``restart_backoff_ms`` doubling up to
   ``restart_backoff_max_ms``): close the old engine (which triggers the
   kernel pools' own reset paths — the shard pool already tears down and
-  respawns broken workers), build a fresh one from the factory, probe it
-  with a real forward pass, and only then route traffic back.  Restart
-  counts are published as ``repro_replica_restarts_total``; the healthy
-  count is the ``repro_replicas_healthy`` gauge.
+  respawns broken workers), build a fresh one from the set's factory,
+  probe it with a real forward pass, and only then route traffic back.  A
+  set removed mid-restart (a hot-swap retired its version) is never
+  resurrected: the restart discards the fresh engine instead of marking it
+  healthy.  Restart counts are published as
+  ``repro_replica_restarts_total``; the healthy count is the
+  ``repro_replicas_healthy`` gauge.
 
 The supervisor preserves the serving stack's **no-silent-drop** contract:
 every submitted request resolves to a result, a
 :class:`~repro.serve.errors.DeadlineExceeded`, a
-:class:`~repro.serve.errors.RequestShed`, or — when every replica is down —
-a :class:`~repro.serve.errors.ReplicaUnavailable` that the front-end maps
+:class:`~repro.serve.errors.RequestShed`, or — when every replica of the
+routed set is down (or the set was just removed) — a
+:class:`~repro.serve.errors.ReplicaUnavailable` that the front-end maps
 to an explicit shed response.
 """
 
@@ -37,7 +44,7 @@ import threading
 import time
 from concurrent.futures import CancelledError, Future
 from concurrent.futures import TimeoutError as FuturesTimeoutError
-from typing import Callable, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set
 
 import numpy as np
 
@@ -53,6 +60,9 @@ from repro.serve.errors import (
 from repro.serve.metrics import ServeMetrics
 
 EngineFactory = Callable[[], object]
+
+#: Replica-set key used by the classic single-factory constructor.
+DEFAULT_MODEL_KEY = "default"
 
 _HEALTHY = "healthy"
 _FAILED = "failed"
@@ -79,11 +89,12 @@ def _settle_exception(future: "Future[object]",
 class _Replica:
     """One engine + batcher pair and its supervision state."""
 
-    __slots__ = ("index", "engine", "batcher", "state", "fail_count",
-                 "next_restart_at", "last_error")
+    __slots__ = ("index", "owner", "engine", "batcher", "state",
+                 "fail_count", "next_restart_at", "last_error")
 
-    def __init__(self, index: int) -> None:
+    def __init__(self, index: int, owner: "_ReplicaSet") -> None:
         self.index = index
+        self.owner = owner
         self.engine = None
         self.batcher: Optional[MicroBatcher] = None
         self.state = _STOPPED
@@ -92,15 +103,30 @@ class _Replica:
         self.last_error: Optional[BaseException] = None
 
 
+class _ReplicaSet:
+    """The replicas serving one model key, with their factory and cursor."""
+
+    __slots__ = ("key", "factory", "replicas", "rr")
+
+    def __init__(self, key: str, factory: EngineFactory,
+                 count: int) -> None:
+        self.key = key
+        self.factory = factory
+        self.replicas = [_Replica(index, self) for index in range(count)]
+        self.rr = 0
+
+
 class ReplicaSupervisor:
-    """Routes requests over a pool of supervised engine replicas.
+    """Routes requests over per-model pools of supervised engine replicas.
 
     Parameters
     ----------
     engine_factory:
         Zero-argument callable returning a fresh engine (anything a
-        :class:`MicroBatcher` accepts).  Called once per replica at start
-        and once per restart — it is the supervisor's unit of recovery.
+        :class:`MicroBatcher` accepts) — the supervisor's unit of
+        recovery, registered as the default replica set.  Pass ``None``
+        and add sets with :meth:`add_model` for multi-model serving (the
+        registry-backed front-end does).
     config:
         A :class:`FrontendConfig` (replica count, restart backoff, health
         interval) whose inherited :class:`ServeConfig` half parameterizes
@@ -112,23 +138,24 @@ class ReplicaSupervisor:
 
     def __init__(
         self,
-        engine_factory: EngineFactory,
+        engine_factory: Optional[EngineFactory] = None,
         config: Optional[FrontendConfig] = None,
         metrics: Optional[ServeMetrics] = None,
         cache: Optional[PredictionCache] = None,
     ) -> None:
         self.config = config if config is not None else FrontendConfig()
-        self._factory = engine_factory
         self.metrics = metrics if metrics is not None else ServeMetrics()
         self.cache = (
             cache if cache is not None
             else PredictionCache(self.config.cache_capacity)
         )
-        self._replicas = [
-            _Replica(index) for index in range(self.config.num_replicas)
-        ]
+        self._sets: "Dict[str, _ReplicaSet]" = {}
+        if engine_factory is not None:
+            self._sets[DEFAULT_MODEL_KEY] = _ReplicaSet(
+                DEFAULT_MODEL_KEY, engine_factory,
+                self.config.num_replicas,
+            )
         self._lock = threading.RLock()
-        self._rr = 0
         self._running = False
         self._monitor: Optional[threading.Thread] = None
         self._monitor_wake = threading.Event()
@@ -139,6 +166,70 @@ class ReplicaSupervisor:
         self._obs_healthy = registry.gauge(
             "repro_replicas_healthy", help="Replicas currently routable.")
         self._restarts = 0
+
+    # ------------------------------------------------------------------ #
+    # replica sets
+    # ------------------------------------------------------------------ #
+    @property
+    def _replicas(self) -> List[_Replica]:
+        """Flat replica view across sets (reports, tests)."""
+        return [replica for replica_set in self._sets.values()
+                for replica in replica_set.replicas]
+
+    def models(self) -> List[str]:
+        """Keys of the replica sets currently registered."""
+        with self._lock:
+            return list(self._sets)
+
+    def has_model(self, key: str) -> bool:
+        with self._lock:
+            return key in self._sets
+
+    def add_model(self, key: str, engine_factory: EngineFactory,
+                  num_replicas: Optional[int] = None) -> "ReplicaSupervisor":
+        """Register (idempotently) a replica set serving model ``key``.
+
+        When the supervisor is already running the new set's replicas are
+        built and started immediately — this is the hot-swap path: the new
+        version's pool must be warm before routing flips to it.
+        """
+        with self._lock:
+            if key in self._sets:
+                return self
+            count = (int(num_replicas) if num_replicas
+                     else self.config.num_replicas)
+            replica_set = _ReplicaSet(key, engine_factory, count)
+            self._sets[key] = replica_set
+            if self._running:
+                for replica in replica_set.replicas:
+                    self._start_replica_locked(replica)
+                self._publish_health_locked()
+        return self
+
+    def remove_model(self, key: str, drain: bool = True,
+                     drain_timeout: Optional[float] = None) -> bool:
+        """Retire model ``key``'s replica set: drain, close, forget.
+
+        The set is unregistered first (under the lock — new submissions
+        for ``key`` get :class:`ReplicaUnavailable` immediately and the
+        monitor stops restarting it), then its batchers drain and its
+        engines close outside the lock.  Returns whether a set existed.
+        """
+        with self._lock:
+            replica_set = self._sets.pop(key, None)
+        if replica_set is None:
+            return False
+        timeout = (drain_timeout if drain_timeout is not None
+                   else self.config.drain_timeout_s)
+        for replica in replica_set.replicas:
+            if replica.batcher is not None:
+                replica.batcher.stop(drain=drain, drain_timeout=timeout)
+        for replica in replica_set.replicas:
+            self._close_engine(replica)
+            replica.state = _STOPPED
+        with self._lock:
+            self._publish_health_locked()
+        return True
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -160,10 +251,11 @@ class ReplicaSupervisor:
         return self
 
     def _start_replica_locked(self, replica: _Replica) -> None:
-        replica.engine = self._factory()
+        replica.engine = replica.owner.factory()
         replica.batcher = MicroBatcher(
             replica.engine, self.config,
             cache=self.cache, metrics=self.metrics,
+            cache_namespace=replica.owner.key,
         ).start()
         replica.state = _HEALTHY
         replica.last_error = None
@@ -222,7 +314,7 @@ class ReplicaSupervisor:
 
     @property
     def healthy_replicas(self) -> int:
-        """How many replicas are currently routable."""
+        """How many replicas are currently routable (all sets)."""
         with self._lock:
             return sum(1 for r in self._replicas if r.state == _HEALTHY)
 
@@ -231,10 +323,25 @@ class ReplicaSupervisor:
         """Replica restarts performed since construction."""
         return self._restarts
 
-    def replica_states(self) -> List[str]:
-        """Per-replica state snapshot (test/report surface)."""
+    def replica_states(self, model: Optional[str] = None) -> List[str]:
+        """Per-replica state snapshot (test/report surface).
+
+        Flat across sets by default (single-model deployments see the
+        classic list); pass ``model`` for one set's view.
+        """
         with self._lock:
+            if model is not None:
+                replica_set = self._sets.get(model)
+                if replica_set is None:
+                    raise KeyError(f"no replica set for model {model!r}")
+                return [r.state for r in replica_set.replicas]
             return [replica.state for replica in self._replicas]
+
+    def model_states(self) -> Dict[str, List[str]]:
+        """Replica states grouped by model key."""
+        with self._lock:
+            return {key: [r.state for r in replica_set.replicas]
+                    for key, replica_set in self._sets.items()}
 
     def _mark_failed(self, replica: _Replica,
                      error: BaseException) -> None:
@@ -259,38 +366,62 @@ class ReplicaSupervisor:
     # ------------------------------------------------------------------ #
     # request routing
     # ------------------------------------------------------------------ #
-    def _pick_healthy(self, exclude: Set[int]) -> Optional[_Replica]:
+    def _pick_set(self, model: Optional[str]) -> Optional[_ReplicaSet]:
         with self._lock:
-            count = len(self._replicas)
+            if model is not None:
+                return self._sets.get(model)
+            replica_set = self._sets.get(DEFAULT_MODEL_KEY)
+            if replica_set is None and len(self._sets) == 1:
+                replica_set = next(iter(self._sets.values()))
+            return replica_set
+
+    def _pick_healthy(self, replica_set: _ReplicaSet,
+                      exclude: Set[int]) -> Optional[_Replica]:
+        with self._lock:
+            replicas = replica_set.replicas
+            count = len(replicas)
             for offset in range(count):
-                replica = self._replicas[(self._rr + offset) % count]
+                replica = replicas[(replica_set.rr + offset) % count]
                 if replica.state == _HEALTHY and replica.index not in exclude:
-                    self._rr = (replica.index + 1) % count
+                    replica_set.rr = (replica.index + 1) % count
                     return replica
         return None
 
     def submit(self, sample: np.ndarray,
-               deadline_s: Optional[float] = None) -> "Future[object]":
+               deadline_s: Optional[float] = None,
+               model: Optional[str] = None) -> "Future[object]":
         """Route one sample to a healthy replica; returns its future.
 
-        On an engine failure the request retries on the next healthy
-        replica (each replica tried at most once) while the deadline still
-        has budget; the failing replica is marked for supervised restart.
-        The returned future resolves to the label, or raises
+        ``model`` selects the replica set (``None`` routes to the default
+        set, or the only set when exactly one exists).  On an engine
+        failure the request retries on the next healthy replica of the
+        same set (each replica tried at most once) while the deadline
+        still has budget; the failing replica is marked for supervised
+        restart.  The returned future resolves to the label, or raises
         :class:`DeadlineExceeded` / :class:`RequestShed` /
         :class:`ReplicaUnavailable` — never hangs on a dead replica.
         """
         if not self._running:
             self.start()
         outer: "Future[object]" = Future()
-        self._try_submit(outer, sample, deadline_s, exclude=set())
+        replica_set = self._pick_set(model)
+        if replica_set is None:
+            _settle_exception(outer, ReplicaUnavailable(
+                "no replica set serves this request"
+                if model is None else
+                f"no replica set for model {model!r}"
+            ))
+            return outer
+        self._try_submit(outer, replica_set, sample, deadline_s,
+                         exclude=set())
         return outer
 
-    def _try_submit(self, outer: "Future[object]", sample: np.ndarray,
+    def _try_submit(self, outer: "Future[object]",
+                    replica_set: _ReplicaSet, sample: np.ndarray,
                     deadline_s: Optional[float], exclude: Set[int]) -> None:
         shed: Optional[RequestShed] = None
         while True:
-            replica = self._pick_healthy(exclude)
+            replica = self._pick_healthy(replica_set, exclude)
             if replica is None:
                 _settle_exception(
                     outer,
@@ -337,17 +468,19 @@ class ReplicaSupervisor:
                         "deadline expired during replica failover"
                     ))
                     return
-                self._try_submit(outer, sample, deadline_s, exclude)
+                self._try_submit(outer, replica_set, sample, deadline_s,
+                                 exclude)
 
         inner.add_done_callback(_relay)
 
     def predict(self, sample: np.ndarray,
-                timeout: Optional[float] = None) -> int:
+                timeout: Optional[float] = None,
+                model: Optional[str] = None) -> int:
         """Synchronous single-sample prediction through the pool."""
         timeout = (timeout if timeout is not None
                    else self.config.request_timeout_s)
         deadline = time.perf_counter() + timeout
-        future = self.submit(sample, deadline_s=deadline)
+        future = self.submit(sample, deadline_s=deadline, model=model)
         try:
             return int(future.result(timeout=timeout))
         except (FuturesTimeoutError, CancelledError):
@@ -389,6 +522,9 @@ class ReplicaSupervisor:
         if shape:
             predict(np.zeros((1,) + tuple(shape), dtype=np.float32))
 
+    def _set_registered_locked(self, replica: _Replica) -> bool:
+        return self._sets.get(replica.owner.key) is replica.owner
+
     def _restart_replica(self, replica: _Replica) -> None:
         old_batcher = replica.batcher
         try:
@@ -398,12 +534,13 @@ class ReplicaSupervisor:
                 # stall the restart.
                 old_batcher.stop()
             self._close_engine(replica)
-            engine = self._factory()
+            engine = replica.owner.factory()
             self._probe(engine)
         except BaseException as error:
             # Failed restart: back off (exponentially, capped) and retry.
             with self._lock:
-                if not self._running:
+                if (not self._running
+                        or not self._set_registered_locked(replica)):
                     replica.state = _STOPPED
                     return
                 replica.state = _FAILED
@@ -417,7 +554,11 @@ class ReplicaSupervisor:
                 replica.next_restart_at = time.perf_counter() + backoff
             return
         with self._lock:
-            if not self._running:
+            if (not self._running
+                    or not self._set_registered_locked(replica)):
+                # Supervisor stopped — or a hot-swap retired this model
+                # mid-restart.  Either way the fresh engine must not come
+                # back into rotation (a rolled-back version stays gone).
                 close = getattr(engine, "close", None)
                 if callable(close):
                     close()
@@ -426,6 +567,7 @@ class ReplicaSupervisor:
             replica.engine = engine
             replica.batcher = MicroBatcher(
                 engine, self.config, cache=self.cache, metrics=self.metrics,
+                cache_namespace=replica.owner.key,
             ).start()
             replica.state = _HEALTHY
             replica.fail_count = 0
@@ -435,4 +577,4 @@ class ReplicaSupervisor:
         self._obs_restarts.inc()
 
 
-__all__ = ["ReplicaSupervisor"]
+__all__ = ["ReplicaSupervisor", "DEFAULT_MODEL_KEY"]

@@ -596,3 +596,188 @@ class TestFrontendWire:
         with ServeFrontend(supervisor=supervisor, config=config) as frontend:
             with FrontendClient(*frontend.address) as client:
                 assert client.predict(X) == int(X.sum()) % 10
+
+
+# --------------------------------------------------------------------------- #
+# per-model replica sets
+# --------------------------------------------------------------------------- #
+class _LabelEngine:
+    """Every prediction is this engine's label (version-echo stub)."""
+
+    def __init__(self, label):
+        self.label = int(label)
+        self.input_shape = (3, 3)
+
+    def predict(self, batch):
+        return np.full(len(batch), self.label, dtype=np.int64)
+
+    def close(self):
+        pass
+
+
+class TestSupervisorModels:
+    def test_per_model_sets_route_and_remove(self):
+        supervisor = ReplicaSupervisor(
+            config=_supervisor_config(num_replicas=1))
+        supervisor.add_model("a", lambda: _LabelEngine(1))
+        supervisor.add_model("b", lambda: _LabelEngine(2))
+        with supervisor:
+            assert supervisor.predict(X, model="a") == 1
+            assert supervisor.predict(X, model="b") == 2
+            assert sorted(supervisor.models()) == ["a", "b"]
+            assert set(supervisor.model_states()) == {"a", "b"}
+            supervisor.remove_model("b")
+            assert supervisor.models() == ["a"]
+            with pytest.raises(ReplicaUnavailable):
+                supervisor.submit(X, model="b").result(timeout=5.0)
+            # The surviving set keeps serving.
+            assert supervisor.predict(X, model="a") == 1
+
+    def test_unknown_model_submit_is_unavailable(self):
+        supervisor = ReplicaSupervisor(
+            config=_supervisor_config(num_replicas=1))
+        supervisor.add_model("a", lambda: _LabelEngine(1))
+        with supervisor:
+            with pytest.raises(ReplicaUnavailable):
+                supervisor.submit(X, model="nope").result(timeout=5.0)
+            with pytest.raises(KeyError):
+                supervisor.replica_states(model="nope")
+
+    def test_add_model_while_running_warms_replicas(self):
+        supervisor = ReplicaSupervisor(
+            config=_supervisor_config(num_replicas=1))
+        supervisor.add_model("a", lambda: _LabelEngine(1))
+        with supervisor:
+            supervisor.add_model("late", lambda: _LabelEngine(7))
+            assert supervisor.predict(X, model="late") == 7
+            assert supervisor.replica_states(model="late") == ["healthy"]
+
+
+# --------------------------------------------------------------------------- #
+# registry-backed front-end (wire)
+# --------------------------------------------------------------------------- #
+from repro.serve import (  # noqa: E402 — registry additions under test
+    CanaryController,
+    InferenceArtifact,
+    ModelRegistry,
+)
+
+
+def _label_artifact(fill):
+    return InferenceArtifact(
+        tensors={"w": np.full((4,), float(fill), dtype=np.float32)},
+        metadata={"model_name": "stub"},
+    )
+
+
+def _registry_frontend(**overrides):
+    registry = ModelRegistry()
+    registry.register("m", "v1", _label_artifact(1.0),
+                      engine=_LabelEngine(1))
+    registry.register("m", "v2", _label_artifact(2.0),
+                      engine=_LabelEngine(2))
+    controller = CanaryController(registry, window=16, min_samples=4,
+                                  holdoff_base_s=5.0)
+    base = dict(num_replicas=1, max_wait_ms=0.5, port=0,
+                restart_backoff_ms=5.0, health_interval_ms=5.0,
+                default_deadline_ms=5000.0, cache_capacity=0)
+    base.update(overrides)
+    return ServeFrontend(registry=registry, config=FrontendConfig(**base),
+                         controller=controller)
+
+
+class TestRegistryWire:
+    def test_predict_routes_and_echoes_version(self):
+        with _registry_frontend() as frontend:
+            with FrontendClient(*frontend.address) as client:
+                assert client.predict_routed(X) == (1, "m@v1")
+                assert client.predict_routed(X, model="m") == (1, "m@v1")
+                # @latest follows the routing snapshot, not registration
+                # order: v1 is still the stable serving version.
+                assert client.predict_routed(X, model="m@latest") == (
+                    1, "m@v1")
+                # Pinning the serving version works...
+                assert client.predict_routed(X, model="m@v1") == (1, "m@v1")
+                # ...but a registered, non-serving version has no replica
+                # set — an explicit shed, never a silent drop.
+                with pytest.raises(RequestShed, match="no_replica"):
+                    client.predict(X, model="m@v2")
+                # Once the swap routes v2, pinning it serves.
+                client.swap("m@v2")
+                assert client.predict_routed(X, model="m@v2") == (2, "m@v2")
+
+    def test_model_field_on_non_registry_server_is_an_error(self):
+        with _frontend(_sum_engine) as frontend:
+            with FrontendClient(*frontend.address) as client:
+                with pytest.raises(RuntimeError, match="no model registry"):
+                    client.predict(X, model="m")
+
+    def test_unknown_model_is_an_explicit_error(self):
+        with _registry_frontend() as frontend:
+            with FrontendClient(*frontend.address) as client:
+                with pytest.raises(RuntimeError, match="unknown model"):
+                    client.predict(X, model="nope")
+                with pytest.raises(RuntimeError, match="no version"):
+                    client.predict(X, model="m@v9")
+
+    def test_list_models_and_swap_wire_kinds(self):
+        with _registry_frontend() as frontend:
+            with FrontendClient(*frontend.address) as client:
+                (model,) = client.list_models()["models"]
+                assert model["name"] == "m"
+                assert model["serving"] == "v1"
+                assert model["versions"] == ["v1", "v2"]
+                swapped = client.swap("m@v2")["swapped"]
+                assert swapped == {"from": "v1", "to": "v2"}
+                assert client.predict_routed(X) == (2, "m@v2")
+                with pytest.raises(RuntimeError, match="swap failed"):
+                    client.swap("m@v9")
+
+    def test_canary_wire_lifecycle_and_holdoff(self):
+        with _registry_frontend() as frontend:
+            with FrontendClient(*frontend.address) as client:
+                client.canary_start("m@v2", fraction=1.0, seed=3)
+                (status,) = client.canary_status("m")["canary"]
+                assert status["candidate"] == "v2"
+                assert status["fraction"] == 1.0
+                # Full fraction: bare-name traffic all hits the candidate.
+                assert client.predict_routed(X) == (2, "m@v2")
+                assert client.canary_rollback("m")["rolled_back"]
+                assert not client.canary_rollback("m")["rolled_back"]
+                # Hold-off (5s base) refuses an immediate restart...
+                with pytest.raises(RuntimeError, match="held off"):
+                    client.canary_start("m@v2", fraction=1.0)
+                # ...unless forced.
+                client.canary_start("m@v2", fraction=1.0, force=True)
+                assert client.predict_routed(X) == (2, "m@v2")
+
+    def test_rolled_back_replica_set_is_retired(self):
+        with _registry_frontend() as frontend:
+            with FrontendClient(*frontend.address) as client:
+                client.canary_start("m@v2", fraction=1.0, force=True)
+                assert client.predict_routed(X) == (2, "m@v2")
+                client.canary_rollback("m")
+                deadline = time.monotonic() + 10.0
+                while ("m@v2" in frontend.supervisor.models()
+                       and time.monotonic() < deadline):
+                    time.sleep(0.02)
+                assert frontend.supervisor.models() == ["m@v1"]
+                # Stable traffic is untouched by the retirement.
+                assert client.predict_routed(X) == (1, "m@v1")
+
+    def test_metrics_response_reports_models_and_obs(self):
+        with _registry_frontend() as frontend:
+            with FrontendClient(*frontend.address) as client:
+                client.predict(X)
+                view = client.server_metrics()
+                assert "obs" in view and "counters" in view["obs"]
+                (model,) = view["models"]
+                assert model["name"] == "m"
+                assert "m@v1" in view["model_replicas"]
+
+    def test_admin_kinds_rejected_without_registry(self):
+        with _frontend(_sum_engine) as frontend:
+            with FrontendClient(*frontend.address) as client:
+                response = client.list_models()
+                assert response["status"] == "error"
+                assert "registry" in response["error"]

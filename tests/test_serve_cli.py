@@ -148,3 +148,92 @@ class TestAutoPinCLI:
                 "serve-bench", "--pin", "auto", "--pin", "gemm=fast",
                 "--requests", "1",
             ])
+
+
+class _LabelEngine:
+    """Stub engine: every prediction is its label (registry CLI tests)."""
+
+    def __init__(self, label):
+        self.label = int(label)
+        self.input_shape = (3,)
+
+    def predict(self, batch):
+        return np.full(len(batch), self.label, dtype=np.int64)
+
+    def close(self):
+        pass
+
+
+class TestRegistryCommand:
+    def test_parser_requires_port_and_validates_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["registry", "list"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["registry", "bogus", "--port", "1"])
+        args = build_parser().parse_args([
+            "registry", "canary-start", "m@v2", "--port", "7071",
+            "--fraction", "0.25", "--canary-seed", "9", "--force",
+        ])
+        assert args.command == "registry"
+        assert args.action == "canary-start"
+        assert args.ref == "m@v2"
+        assert args.fraction == 0.25
+        assert args.canary_seed == 9
+        assert args.force
+
+    def test_ref_needing_actions_reject_missing_ref(self):
+        with pytest.raises(SystemExit, match="needs a model ref"):
+            main(["registry", "swap", "--port", "1"])
+        with pytest.raises(SystemExit, match="needs a model ref"):
+            main(["registry", "canary-start", "--port", "1"])
+
+    def test_serve_bench_rejects_malformed_model_ref(self):
+        with pytest.raises(SystemExit, match="empty version"):
+            main(["serve-bench", "--model", "mlp-mini@"])
+
+    def test_live_admin_against_registry_frontend(self, capsys):
+        from repro.serve import (
+            CanaryController,
+            FrontendConfig,
+            InferenceArtifact,
+            ModelRegistry,
+            ServeFrontend,
+        )
+
+        def artifact(fill):
+            return InferenceArtifact(
+                tensors={"w": np.full((4,), float(fill),
+                                      dtype=np.float32)},
+                metadata={"model_name": "stub"},
+            )
+
+        registry = ModelRegistry()
+        registry.register("m", "v1", artifact(1.0), engine=_LabelEngine(1))
+        registry.register("m", "v2", artifact(2.0), engine=_LabelEngine(2))
+        controller = CanaryController(registry, window=16, min_samples=4,
+                                      holdoff_base_s=0.1)
+        config = FrontendConfig(num_replicas=1, max_wait_ms=0.5, port=0,
+                                cache_capacity=0)
+        with ServeFrontend(registry=registry, config=config,
+                           controller=controller) as frontend:
+            port = str(frontend.port)
+            assert main(["registry", "list", "--port", port]) == 0
+            assert "m: serving v1 [v1 *, v2]" in capsys.readouterr().out
+            assert main(["registry", "swap", "m@v2", "--port", port]) == 0
+            assert "swapped: v1 -> v2" in capsys.readouterr().out
+            assert main(["registry", "canary-start", "m@v1", "--port",
+                         port, "--fraction", "0.5", "--force"]) == 0
+            assert "canary started" in capsys.readouterr().out
+            assert main(["registry", "canary-status", "m", "--port",
+                         port]) == 0
+            status = json.loads(capsys.readouterr().out)
+            assert status[0]["candidate"] == "v1"
+            assert status[0]["fraction"] == 0.5
+            assert main(["registry", "canary-rollback", "m", "--port",
+                         port]) == 0
+            assert "canary rolled back" in capsys.readouterr().out
+            assert main(["registry", "canary-rollback", "m", "--port",
+                         port]) == 0
+            assert "no active canary" in capsys.readouterr().out
+            assert main(["registry", "list", "--port", port]) == 0
+            assert "m: serving v2" in capsys.readouterr().out
